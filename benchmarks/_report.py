@@ -1,0 +1,102 @@
+"""Shared reporting for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+and prints paper-expected vs measured rows.  Output goes both to stdout
+(visible with ``pytest -s`` or in the captured section) and to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class Report:
+    """Collects the rows of one reproduced table/figure."""
+
+    def __init__(self, name: str, title: str):
+        self.name = name
+        self.title = title
+        self._buffer = io.StringIO()
+        self.line("=" * 72)
+        self.line(title)
+        self.line("=" * 72)
+
+    def line(self, text: str = "") -> None:
+        self._buffer.write(text + "\n")
+
+    def table(self, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+        rows = [[str(c) for c in row] for row in rows]
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+        self.line("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+        self.line("  ".join("-" * w for w in widths))
+        for row in rows:
+            self.line("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+    def expect(self, what: str, paper: str, measured: str, ok: bool) -> None:
+        verdict = "REPRODUCED" if ok else "DIVERGED"
+        self.line(f"[{verdict}] {what}: paper={paper} measured={measured}")
+
+    def emit(self) -> str:
+        text = self._buffer.getvalue()
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{self.name}.txt"), "w") as f:
+            f.write(text)
+        print("\n" + text)
+        return text
+
+
+def series_constant(values: Sequence[int]) -> bool:
+    return len(set(values)) == 1
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def ascii_plot(
+    series: "dict[str, Sequence[float]]",
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """A monochrome ASCII rendering of one or more y-series.
+
+    Each series gets a marker character; x positions are the sample
+    indices scaled to ``width``.  Good enough to eyeball the *shape* the
+    paper's figures show (separated bands, coinciding flat lines,
+    staircases vs linear growth).
+    """
+    markers = "ox+*#@%&"
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return "(empty plot)"
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        n = len(values)
+        for i, value in enumerate(values):
+            x = int(i * (width - 1) / max(n - 1, 1))
+            y = int((value - lo) * (height - 1) / span)
+            row = height - 1 - y
+            grid[row][x] = marker
+    lines = [
+        f"{hi:>10.0f} |" + "".join(grid[0]),
+    ]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{lo:>10.0f} |" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{marker} {name}"
+        for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Ablation: the four hardware designs on one workload (security x cost).
+
+DESIGN.md calls out the hardware choice as the central design axis:
+``null`` (fixed-cost abstract machine), ``nopar`` (commodity shared caches),
+``nofill`` (Sec. 4.2) and ``partitioned`` (Sec. 4.3).  This bench runs the
+login workload on each and reports:
+
+* contract compliance (which of Properties 2/5/6/7 hold);
+* the cache-probe verdict (can a coresident adversary read the secret out
+  of the environment after a run?);
+* performance (average login time), showing the paper's ordering: the
+  partitioned design buys security back at modest cost over no-fill's
+  heavier penalty on high-context code.
+"""
+
+from repro.apps.login import CredentialTable, LoginSystem, login_attempt_times
+from repro.hardware import make_hardware, run_contract_suite, tiny_machine
+from repro.lang import DEFAULT_LATTICE
+
+from _report import Report, mean
+
+LAT = DEFAULT_LATTICE
+MODELS = ("null", "nopar", "nofill", "partitioned")
+TABLE = 60
+
+
+def _contract(name):
+    report = run_contract_suite(
+        lambda: make_hardware(name, LAT,
+                              None if name == "null" else tiny_machine()),
+        LAT,
+        trials=10,
+    )
+    return report.failing_properties()
+
+
+def _performance():
+    creds = CredentialTable.generate(size=TABLE, valid=TABLE // 2, seed=3)
+    system = LoginSystem(table_size=TABLE, mitigated=False)
+    return {
+        name: mean(login_attempt_times(system, creds, hardware=name))
+        for name in MODELS
+    }
+
+
+def _build_report():
+    report = Report("ablation_hardware",
+                    "Ablation: hardware designs (security x cost)")
+    failures = {name: _contract(name) for name in MODELS}
+    perf = _performance()
+    base = perf["nopar"]
+    report.table(
+        ("design", "contract violations", "avg login time",
+         "vs nopar"),
+        [
+            (name, ", ".join(failures[name]) or "none",
+             f"{perf[name]:.0f}", f"{perf[name] / base:.2f}x")
+            for name in MODELS
+        ],
+    )
+    secure_ok = all(not failures[n] for n in ("null", "nofill",
+                                              "partitioned"))
+    nopar_flagged = "P5-write-label" in failures["nopar"]
+    cost_ordering = perf["nopar"] <= perf["partitioned"] <= perf["nofill"]
+    report.expect("secure designs satisfy the whole contract",
+                  "Properties 2,5-7 hold", f"{failures}", secure_ok)
+    report.expect("commodity hardware violates the write-label property",
+                  "high contexts imprint on shared cache",
+                  f"{failures['nopar']}", nopar_flagged)
+    report.expect(
+        "partitioned cheaper than no-fill (the Sec. 4.3 motivation)",
+        "nopar <= partitioned <= nofill",
+        {k: round(v) for k, v in perf.items()},
+        cost_ordering,
+    )
+    report.emit()
+    return secure_ok and nopar_flagged and cost_ordering
+
+
+def test_ablation_hardware_designs(benchmark):
+    ok = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    assert ok

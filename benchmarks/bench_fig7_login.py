@@ -1,0 +1,118 @@
+"""Figure 7: login time with various secrets.
+
+Paper setup: 100 login attempts against credential tables holding 10, 50, or
+100 valid usernames.  Upper plot (no mitigation): the three curves separate
+and valid/invalid usernames are distinguishable by time.  Lower plot
+(mitigation on): execution time does not depend on secrets, so all three
+curves coincide.
+
+This bench regenerates both curve families (printed as per-attempt series
+summaries plus the full series in the results file) and asserts the shape:
+
+* unmitigated: the Bortz-Boneh username probe achieves 100% accuracy and
+  the three secret configurations give different series;
+* mitigated: every attempt of every configuration takes exactly the same
+  time (the paper's "all three curves coincide").
+"""
+
+from repro.apps.login import (
+    CredentialTable,
+    LoginSystem,
+    login_attempt_times,
+    summarize_valid_invalid,
+)
+from repro.attacks import username_probe
+
+from _report import Report, ascii_plot, series_constant
+
+ATTEMPTS = 100
+VALID_COUNTS = (10, 50, 100)
+HARDWARE = "partitioned"
+
+
+def _series(system, tables):
+    return {
+        valid: login_attempt_times(system, table, hardware=HARDWARE)
+        for valid, table in tables.items()
+    }
+
+
+def _run_experiment():
+    tables = {
+        v: CredentialTable.generate(size=ATTEMPTS, valid=v, seed=2012)
+        for v in VALID_COUNTS
+    }
+
+    unmitigated = LoginSystem(table_size=ATTEMPTS, mitigated=False)
+    mitigated = LoginSystem(table_size=ATTEMPTS, mitigated=True)
+    budget = mitigated.calibrate_budget(attempts=10, hardware=HARDWARE)
+
+    upper = _series(unmitigated, tables)
+    lower = _series(mitigated, tables)
+    return tables, upper, lower, budget
+
+
+def _build_report():
+    tables, upper, lower, budget = _run_experiment()
+    report = Report("fig7", "Figure 7: Login time with various secrets")
+    report.line(f"100 attempts; valid usernames in {VALID_COUNTS}; "
+                f"hardware={HARDWARE}; calibrated initial prediction="
+                f"{budget} cycles")
+    report.line()
+    report.line("Upper plot (unmitigated): per-configuration summary")
+    rows = []
+    probes = {}
+    for v in VALID_COUNTS:
+        s = summarize_valid_invalid(upper[v], tables[v])
+        validity = [tables[v].is_valid(i) for i in range(ATTEMPTS)]
+        if v < ATTEMPTS:
+            probes[v] = username_probe(upper[v], validity).accuracy
+        rows.append((f"{v} valid", f"{s['valid']:.0f}",
+                     f"{s['invalid']:.0f}" if v < ATTEMPTS else "n/a",
+                     f"{probes.get(v, float('nan')):.2f}"
+                     if v in probes else "n/a"))
+    report.table(("config", "avg time (valid)", "avg time (invalid)",
+                  "probe accuracy"), rows)
+    report.line()
+    report.line("Lower plot (mitigated): per-configuration summary")
+    rows = []
+    for v in VALID_COUNTS:
+        times = lower[v]
+        rows.append((f"{v} valid", min(times), max(times),
+                     "yes" if series_constant(times) else "NO"))
+    report.table(("config", "min time", "max time", "constant?"), rows)
+
+    distinct_mitigated = {tuple(lower[v]) for v in VALID_COUNTS}
+    unmit_separable = all(acc == 1.0 for acc in probes.values())
+    curves_coincide = len(distinct_mitigated) == 1 and all(
+        series_constant(lower[v]) for v in VALID_COUNTS
+    )
+    report.expect(
+        "upper plot: valid/invalid distinguishable by timing",
+        "adversary separates them", f"probe accuracy {probes}",
+        unmit_separable,
+    )
+    report.expect(
+        "lower plot: all three curves coincide",
+        "single flat line", f"{len(distinct_mitigated)} distinct series",
+        curves_coincide,
+    )
+    report.line()
+    report.line("Upper plot (unmitigated login times per attempt):")
+    report.line(ascii_plot({f"{v} valid": upper[v] for v in VALID_COUNTS}))
+    report.line()
+    report.line("Lower plot (mitigated -- the curves coincide):")
+    report.line(ascii_plot({f"{v} valid": lower[v] for v in VALID_COUNTS}))
+    report.line()
+    report.line("Full series (attempt -> cycles):")
+    for v in VALID_COUNTS:
+        report.line(f"unmitigated valid={v}: {upper[v]}")
+    for v in VALID_COUNTS:
+        report.line(f"mitigated   valid={v}: {lower[v][:5]} ... (constant)")
+    report.emit()
+    return unmit_separable and curves_coincide
+
+
+def test_fig7_login_timing(benchmark):
+    ok = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    assert ok

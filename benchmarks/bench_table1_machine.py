@@ -1,0 +1,78 @@
+"""Table 1: machine environment parameters.
+
+Prints the configured cache/TLB hierarchy (which must equal Table 1 of the
+paper) and *measures* the latencies the simulator actually produces for the
+canonical access patterns (cold miss, L2 hit, L1 hit, TLB-only miss), so the
+table is regenerated from behaviour rather than echoed from the config.
+"""
+
+from repro.hardware import Hierarchy, paper_machine
+
+from _report import Report
+
+
+def _measure_latencies():
+    p = paper_machine()
+    h = Hierarchy(p)
+    addr = 0x1000_0000
+    cold = h.data_access(addr)
+    l1_hit = h.data_access(addr)
+    # L1-evict to measure the L2 hit path.
+    stride = p.l1_data.sets * p.l1_data.block_bytes
+    for i in range(1, p.l1_data.ways + 1):
+        h.l1_data.touch(addr + i * stride)
+    l2_hit = h.data_access(addr)
+    h.data_tlb.flush()
+    tlb_miss = h.data_access(addr)
+
+    hi = Hierarchy(p)
+    icold = hi.inst_fetch(0x40_0000)
+    il1 = hi.inst_fetch(0x40_0000)
+    return p, cold, l1_hit, l2_hit, tlb_miss, icold, il1
+
+
+def _build_report():
+    p, cold, l1_hit, l2_hit, tlb_miss, icold, il1 = _measure_latencies()
+    report = Report("table1", "Table 1: Machine environment parameters")
+    rows = []
+    for c in (p.l1_data, p.l2_data, p.l1_inst, p.l2_inst):
+        rows.append((c.name, c.sets, f"{c.ways}-way", f"{c.block_bytes} byte",
+                     f"{c.latency} cycle{'s' if c.latency > 1 else ''}"))
+    for t in (p.data_tlb, p.inst_tlb):
+        rows.append((t.name, t.sets, f"{t.ways}-way",
+                     f"{t.page_bytes // 1024}KB", f"{t.miss_penalty} cycles"))
+    report.table(("Name", "# of sets", "issue", "block size", "latency"),
+                 rows)
+    report.line()
+    report.line("Measured simulator latencies (data side):")
+    report.table(
+        ("access pattern", "measured cycles", "expected"),
+        [
+            ("L1 hit", l1_hit, p.l1_data.latency),
+            ("L2 hit (L1 miss)", l2_hit,
+             p.l1_data.latency + p.l2_data.latency),
+            ("full miss (TLB+L1+L2+mem)", cold,
+             p.data_tlb.miss_penalty + p.l1_data.latency
+             + p.l2_data.latency + p.memory_latency),
+            ("TLB walk on warm cache", tlb_miss,
+             p.data_tlb.miss_penalty + p.l1_data.latency),
+            ("I-fetch full miss", icold,
+             p.inst_tlb.miss_penalty + p.l1_inst.latency
+             + p.l2_inst.latency + p.memory_latency),
+            ("I-fetch L1 hit", il1, p.l1_inst.latency),
+        ],
+    )
+    ok = (
+        l1_hit == p.l1_data.latency
+        and l2_hit == p.l1_data.latency + p.l2_data.latency
+        and il1 == p.l1_inst.latency
+    )
+    report.expect("hit/miss latency structure", "Table 1 values",
+                  "as measured above", ok)
+    report.emit()
+    return ok
+
+
+def test_table1_machine_parameters(benchmark):
+    ok = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    assert ok

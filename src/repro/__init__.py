@@ -1,0 +1,43 @@
+"""repro: a reproduction of "Language-Based Control and Mitigation of Timing
+Channels" (Zhang, Askarov, Myers; PLDI 2012).
+
+The package implements the paper's language with read/write timing labels,
+its security type system with quantitative leakage guarantees, predictive
+mitigation of timing channels, the software/hardware contract (Properties
+1-7) as executable checkers, and simulated hardware designs -- including the
+statically partitioned cache/TLB of Sec. 4.3 -- together with the paper's
+two case studies (web login, multi-block RSA decryption).
+
+Entry points:
+
+* :func:`repro.api.compile_program` -- parse/infer/typecheck, then run;
+* :mod:`repro.lattice` -- security lattices;
+* :mod:`repro.lang` -- AST, parser, builder DSL;
+* :mod:`repro.semantics` -- core and full semantics, predictive mitigation;
+* :mod:`repro.hardware` -- machine environments and contract checkers;
+* :mod:`repro.typesystem` -- the Fig. 4 checker and label inference;
+* :mod:`repro.quantitative` -- Definitions 1-2, Theorem 2, Sec. 7 bounds;
+* :mod:`repro.apps` -- the Sec. 8 case studies;
+* :mod:`repro.attacks` -- the timing adversaries the paper defends against.
+"""
+
+from . import api
+from .api import CompiledProgram, compile_program
+from .lattice import Label, Lattice, chain, diamond, powerset, two_point
+from .machine.memory import Memory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "Label",
+    "Lattice",
+    "Memory",
+    "api",
+    "chain",
+    "compile_program",
+    "diamond",
+    "powerset",
+    "two_point",
+    "__version__",
+]

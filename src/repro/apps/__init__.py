@@ -1,0 +1,61 @@
+"""The paper's Sec. 8 case studies: web login and multi-block RSA."""
+
+from .hashing import DIGEST_MOD, encode, fnv1a, hash_loop
+from .password import PasswordChecker
+from .login import (
+    CredentialTable,
+    LoginSystem,
+    login_attempt_times,
+    summarize_valid_invalid,
+)
+from .rsa import RsaSystem, decryption_times
+from .sbox_cipher import (
+    KEY_LENGTH,
+    SBOX_SIZE,
+    SboxCipher,
+    random_key,
+    reference_encrypt,
+    standard_sbox,
+)
+from .rsa_math import (
+    RsaKey,
+    decrypt,
+    egcd,
+    encrypt,
+    encrypt_blocks,
+    generate_keypair,
+    is_prime,
+    modinv,
+    random_message,
+    random_prime,
+)
+
+__all__ = [
+    "CredentialTable",
+    "KEY_LENGTH",
+    "SBOX_SIZE",
+    "SboxCipher",
+    "DIGEST_MOD",
+    "LoginSystem",
+    "PasswordChecker",
+    "RsaKey",
+    "RsaSystem",
+    "decrypt",
+    "decryption_times",
+    "egcd",
+    "encode",
+    "encrypt",
+    "encrypt_blocks",
+    "fnv1a",
+    "generate_keypair",
+    "hash_loop",
+    "is_prime",
+    "login_attempt_times",
+    "modinv",
+    "random_key",
+    "random_message",
+    "reference_encrypt",
+    "random_prime",
+    "standard_sbox",
+    "summarize_valid_invalid",
+]

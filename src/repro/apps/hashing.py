@@ -1,0 +1,78 @@
+"""A from-scratch digest, both in Python and in the source language.
+
+The paper's login case study stores MD5 digests of valid usernames and
+passwords.  The timing channel does not care which digest is used -- only
+that computing and comparing digests takes data-dependent code paths -- so
+we substitute a 31-bit FNV-1a-style hash that the source language can
+compute with a simple loop over key characters (our language has no
+functions, so the loop is inlined by the program builders).
+
+:func:`fnv1a` is the Python reference; :func:`hash_loop` emits the
+equivalent source-language fragment.  They agree bit-for-bit, which
+``tests/test_apps_hashing.py`` verifies over random strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..lang import ast
+from ..lang.builder import B
+from ..lattice import Label
+
+FNV_OFFSET = 2166136261
+FNV_PRIME = 16777619
+#: Digests are reduced mod 2^31 so language-level arithmetic mirrors C ints.
+DIGEST_MOD = 1 << 31
+
+
+def fnv1a(data: Iterable[int]) -> int:
+    """Python reference digest of a byte/character sequence."""
+    digest = FNV_OFFSET % DIGEST_MOD
+    for byte in data:
+        digest = ((digest ^ (byte % 256)) * FNV_PRIME) % DIGEST_MOD
+    return digest
+
+
+def encode(text: str) -> List[int]:
+    """A string as the int array the language programs consume."""
+    return [ord(ch) % 256 for ch in text]
+
+
+def hash_loop(
+    builder: B,
+    source_array: str,
+    length: int,
+    digest_var: str,
+    counter_var: str,
+    read: Optional[Label] = None,
+    write: Optional[Label] = None,
+) -> ast.Command:
+    """Emit ``digest_var := fnv1a(source_array[0..length))`` as a command.
+
+    ``counter_var`` is the loop counter (caller allocates it).  Labels
+    default to None so inference can fill them from context.
+    """
+    v = builder.v
+    at = builder.at
+    return builder.seq(
+        builder.assign(digest_var, FNV_OFFSET % DIGEST_MOD, read, write),
+        builder.assign(counter_var, 0, read, write),
+        builder.while_(
+            v(counter_var) < length,
+            builder.seq(
+                builder.assign(
+                    digest_var,
+                    ((v(digest_var) ^ at(source_array, v(counter_var)))
+                     * FNV_PRIME) % DIGEST_MOD,
+                    read,
+                    write,
+                ),
+                builder.assign(
+                    counter_var, v(counter_var) + 1, read, write
+                ),
+            ),
+            read,
+            write,
+        ),
+    )

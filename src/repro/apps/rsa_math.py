@@ -1,0 +1,144 @@
+"""From-scratch RSA key generation and reference operations (Python side).
+
+The case study of Sec. 8.4 uses the RSA reference implementation; we supply
+schoolbook RSA built from first principles -- deterministic Miller-Rabin
+primality testing, extended-Euclid modular inverse, and square-and-multiply
+modular exponentiation -- so the language-level decryption program can be
+cross-checked against an independent implementation.
+
+Key sizes here are deliberately small (tens of bits): the timing channel
+under study is the *key-bit-dependent multiply* in square-and-multiply,
+which exists at every key size, and the simulated processor interprets one
+language command at a time, so small keys keep experiments fast without
+changing the channel's structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish inputs.
+
+    The witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is known to
+    be exact for all n < 3.3 * 10^24, far beyond our key sizes.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _SMALL_PRIMES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """A random prime with exactly ``bits`` bits."""
+    if bits < 3:
+        raise ValueError("need at least 3 bits for a prime")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate):
+            return candidate
+
+
+def egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclid: returns (g, x, y) with a*x + b*y = g = gcd(a, b)."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def modinv(a: int, m: int) -> int:
+    """The inverse of ``a`` modulo ``m``; raises if it does not exist."""
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m}")
+    return x % m
+
+
+@dataclass(frozen=True)
+class RsaKey:
+    """A keypair: public (n, e), private exponent d."""
+
+    n: int
+    e: int
+    d: int
+
+    @property
+    def key_bits(self) -> int:
+        return self.n.bit_length()
+
+    def private_bits(self, width: int) -> List[int]:
+        """The private exponent as a little-endian bit list of ``width``."""
+        return [(self.d >> i) & 1 for i in range(width)]
+
+    def hamming_weight(self) -> int:
+        """Number of set bits in d -- the multiply count of square-and-
+        multiply, i.e. what the timing channel reveals."""
+        return bin(self.d).count("1")
+
+
+def generate_keypair(bits: int = 32, seed: int = 0) -> RsaKey:
+    """A deterministic keypair with an n of roughly ``bits`` bits."""
+    rng = random.Random(seed)
+    half = max(bits // 2, 4)
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        for e in (65537, 257, 17, 5, 3):
+            if e < phi and egcd(e, phi)[0] == 1:
+                d = modinv(e, phi)
+                return RsaKey(n=n, e=e, d=d)
+
+
+def encrypt(message: int, key: RsaKey) -> int:
+    """``message^e mod n`` (textbook, no padding -- the channel under study
+    is in the exponentiation)."""
+    if not 0 <= message < key.n:
+        raise ValueError("message must be in [0, n)")
+    return pow(message, key.e, key.n)
+
+
+def decrypt(cipher: int, key: RsaKey) -> int:
+    """Reference ``cipher^d mod n`` for cross-checking the language program."""
+    return pow(cipher, key.d, key.n)
+
+
+def encrypt_blocks(blocks: List[int], key: RsaKey) -> List[int]:
+    """Encrypt each block independently (the paper's multi-block message)."""
+    return [encrypt(block, key) for block in blocks]
+
+
+def random_message(blocks: int, key: RsaKey, rng: random.Random) -> List[int]:
+    """A random multi-block plaintext valid under ``key``."""
+    return [rng.randrange(1, key.n) for _ in range(blocks)]

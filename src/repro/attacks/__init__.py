@@ -1,0 +1,44 @@
+"""Timing adversaries: distinguishers, cache probing, and RSA key analysis."""
+
+from .cache_probe import ProbeResult, eviction_set, probe, probe_distinguishes
+from .distinguisher import (
+    ThresholdResult,
+    chance_accuracy,
+    distinguishable,
+    partition_by,
+    pearson_correlation,
+    threshold_classifier,
+    username_probe,
+)
+from .prefix_attack import PrefixAttackResult, recover_password
+from .sbox_attack import SboxAttackResult, recover_key_byte
+from .rsa_attack import (
+    AttackOutcome,
+    WeightModel,
+    fit_weight_model,
+    hamming_weight_attack,
+    measure_key_times,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "ProbeResult",
+    "PrefixAttackResult",
+    "SboxAttackResult",
+    "ThresholdResult",
+    "WeightModel",
+    "chance_accuracy",
+    "distinguishable",
+    "eviction_set",
+    "fit_weight_model",
+    "hamming_weight_attack",
+    "measure_key_times",
+    "partition_by",
+    "pearson_correlation",
+    "probe",
+    "probe_distinguishes",
+    "recover_key_byte",
+    "recover_password",
+    "threshold_classifier",
+    "username_probe",
+]

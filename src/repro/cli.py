@@ -1,0 +1,308 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands
+-----------
+
+check
+    Typecheck a program (after label inference)::
+
+        python -m repro check prog.tl --gamma h=H,l=L
+
+infer
+    Print the program with inferred timing labels.
+
+fix
+    Auto-insert mitigate commands until the program typechecks, and print
+    the repaired program.
+
+run
+    Execute on a simulated hardware model and print time, events, and
+    mitigations::
+
+        python -m repro run prog.tl --gamma h=H,l=L --set h=9 --set l=0 \\
+            --hardware partitioned
+
+leakage
+    Measure Definition 1 leakage exhaustively over one secret's value
+    range, plus the Theorem 2 variation count and the Sec. 7 bound::
+
+        python -m repro leakage prog.tl --gamma h=H,l=L --set l=0 \\
+            --secret h --values 0..32
+
+contract
+    Run the executable software/hardware contract against a hardware
+    model::
+
+        python -m repro contract partitioned --levels L,M,H
+
+Programs use the concrete syntax of :mod:`repro.lang.parser`; the security
+lattice defaults to ``L <= H`` and ``--levels a,b,c`` builds a chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .api import compile_program
+from .hardware import make_hardware, paper_machine, run_contract_suite
+from .lang.parser import DEFAULT_LATTICE, parse
+from .lang.pretty import pretty
+from .lattice import Lattice, chain
+from .machine.memory import Memory
+from .quantitative import (
+    leakage_bound,
+    measure_leakage,
+    secret_variants,
+    timing_variations,
+)
+from .typesystem import (
+    SecurityEnvironment,
+    TypingError,
+    auto_mitigate,
+    infer_labels,
+    typecheck,
+)
+
+HARDWARE_CHOICES = ("null", "standard", "nopar", "nofill", "partitioned")
+
+
+def _lattice(args) -> Lattice:
+    if getattr(args, "levels", None):
+        return chain(tuple(args.levels.split(",")))
+    return DEFAULT_LATTICE
+
+
+def _gamma(args, lattice: Lattice) -> SecurityEnvironment:
+    bindings = {}
+    spec = args.gamma or ""
+    for item in filter(None, spec.split(",")):
+        if "=" not in item:
+            raise SystemExit(
+                f"--gamma entries look like name=LEVEL, got {item!r}"
+            )
+        name, level = item.split("=", 1)
+        if level not in lattice:
+            raise SystemExit(
+                f"unknown level {level!r}; lattice levels: "
+                f"{[l.name for l in lattice]}"
+            )
+        bindings[name.strip()] = lattice[level]
+    return SecurityEnvironment(lattice, bindings)
+
+
+def _memory(sets: Optional[List[str]]) -> Memory:
+    values: Dict[str, object] = {}
+    for item in sets or []:
+        if "=" not in item:
+            raise SystemExit(f"--set entries look like name=value, got {item!r}")
+        name, value = item.split("=", 1)
+        if ":" in value:
+            values[name] = [int(v) for v in value.split(":")]
+        else:
+            values[name] = int(value)
+    return Memory(values)
+
+
+def _load(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _compiled(args, check=True):
+    lattice = _lattice(args)
+    gamma = _gamma(args, lattice)
+    return compile_program(
+        _load(args.program), gamma=gamma, lattice=lattice, check=check,
+        require_cache_labels=getattr(args, "require_cache_labels", False),
+    )
+
+
+def cmd_check(args) -> int:
+    """`check`: typecheck; 0 when well-typed, 1 with the error printed."""
+    try:
+        compiled = _compiled(args)
+    except TypingError as err:
+        print(f"ILL-TYPED: {err}")
+        return 1
+    print(f"well-typed; timing end-label: {compiled.typing.end_label}")
+    for mit_id, pc in compiled.typing.mitigate_pc.items():
+        level = compiled.typing.mitigate_level[mit_id]
+        print(f"  mitigate {mit_id}: pc={pc}, level={level}")
+    return 0
+
+
+def cmd_infer(args) -> int:
+    """`infer`: print the program with inferred timing labels."""
+    compiled = _compiled(args, check=False)
+    print(pretty(compiled.program))
+    return 0
+
+
+def cmd_fix(args) -> int:
+    """`fix`: auto-insert mitigate commands and print the repaired program."""
+    lattice = _lattice(args)
+    gamma = _gamma(args, lattice)
+    program = infer_labels(parse(_load(args.program), lattice), gamma)
+    fixed, placements = auto_mitigate(program, gamma)
+    typecheck(fixed, gamma)
+    for placement in placements:
+        print(f"// inserted: {placement.describe()}")
+    print(pretty(fixed))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """`run`: execute on a hardware model; print time/events/mitigations."""
+    compiled = _compiled(args, check=not args.unchecked)
+    result = compiled.run(
+        _memory(args.set),
+        hardware=args.hardware,
+        params=paper_machine(),
+        max_steps=args.max_steps,
+    )
+    print(f"time: {result.time} cycles ({result.steps} steps)")
+    if result.events:
+        print("events:")
+        for event in result.events:
+            print(f"  {event}")
+    if result.mitigations:
+        print("mitigations:")
+        for record in result.mitigations:
+            print(f"  {record.mit_id}: duration {record.duration} "
+                  f"(level {record.level}, done at {record.end_time})")
+    for name in sorted(compiled.gamma):
+        print(f"final {name} = {result.memory.value_of(name)}")
+    return 0
+
+
+def cmd_leakage(args) -> int:
+    """`leakage`: exhaustive Q / log|V| / bound over one secret's range."""
+    compiled = _compiled(args, check=not args.unchecked)
+    lattice = compiled.lattice
+    base = _memory(args.set)
+    # Scalars mentioned in Gamma but absent from --set default to 0.
+    values = {name: 0 for name in compiled.gamma}
+    for name in base.names():
+        value = base.value_of(name)
+        values[name] = list(value) if base.is_array(name) else value
+    base = Memory(values)
+    lo, hi = (int(x) for x in args.values.split(".."))
+    variants = secret_variants(base, ({args.secret: v} for v in range(lo, hi)))
+    adversary = lattice[args.adversary] if args.adversary else lattice.bottom
+    levels = [compiled.gamma[args.secret]]
+    env = make_hardware(args.hardware, lattice, paper_machine())
+    q = measure_leakage(
+        compiled.program, compiled.gamma, lattice, levels, adversary,
+        base, env, variants, mitigate_pc=compiled.typing.mitigate_pc,
+    )
+    v = timing_variations(
+        compiled.program, lattice, levels, adversary, base, env, variants,
+        mitigate_pc=compiled.typing.mitigate_pc,
+    )
+    worst = max((key[-1][3] for key in q.observations if key), default=1)
+    bound = leakage_bound(lattice, levels, adversary, worst,
+                          relevant_mitigations=len(
+                              next(iter(v.id_vectors), ())))
+    print(f"secrets: {args.secret} in [{lo}, {hi})  adversary: {adversary}")
+    print(f"Q        = {q.bits:.3f} bits "
+          f"({q.distinguishable} distinguishable observations)")
+    print(f"log|V|   = {v.bits:.3f} bits ({v.count} timing variations)")
+    print(f"bound    = {bound:.3f} bits  (T={worst})")
+    print(f"Theorem 2 {'holds' if q.bits <= v.bits + 1e-9 else 'VIOLATED'}")
+    return 0
+
+
+def cmd_contract(args) -> int:
+    """`contract`: run the hardware property checkers; 0 iff all hold."""
+    lattice = _lattice(args)
+    report = run_contract_suite(
+        lambda: make_hardware(args.model, lattice, paper_machine()
+                              .scaled_down(8)),
+        lattice,
+        trials=args.trials,
+    )
+    print(report.summary())
+    failing = report.failing_properties()
+    if failing:
+        print(f"\nVIOLATIONS: {', '.join(failing)}")
+        example = report.violations[failing[0]][0]
+        print(f"first counterexample: {example}")
+        return 1
+    print("\nall contract properties hold")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Timing-channel language toolchain (PLDI 2012 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, program=True):
+        """Arguments shared by every subcommand."""
+        if program:
+            p.add_argument("program", help="program file ('-' for stdin)")
+            p.add_argument("--gamma", default="",
+                           help="data labels: name=LEVEL,name=LEVEL,...")
+        p.add_argument("--levels", default=None,
+                       help="chain lattice levels, low to high (default L,H)")
+
+    p = sub.add_parser("check", help="typecheck a program")
+    common(p)
+    p.add_argument("--require-cache-labels", action="store_true",
+                   help="enforce lr = lw (commodity hardware, Sec. 8.1)")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("infer", help="print with inferred labels")
+    common(p)
+    p.set_defaults(func=cmd_infer)
+
+    p = sub.add_parser("fix", help="insert mitigate commands automatically")
+    common(p)
+    p.set_defaults(func=cmd_fix)
+
+    p = sub.add_parser("run", help="execute on simulated hardware")
+    common(p)
+    p.add_argument("--set", action="append", default=[],
+                   help="initial memory: name=int or name=v0:v1:... (array)")
+    p.add_argument("--hardware", choices=HARDWARE_CHOICES,
+                   default="partitioned")
+    p.add_argument("--unchecked", action="store_true",
+                   help="run even if the program is ill-typed")
+    p.add_argument("--max-steps", type=int, default=10_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("leakage", help="measure leakage over a secret range")
+    common(p)
+    p.add_argument("--set", action="append", default=[])
+    p.add_argument("--secret", required=True, help="secret variable name")
+    p.add_argument("--values", default="0..16", help="range lo..hi")
+    p.add_argument("--adversary", default=None, help="adversary level")
+    p.add_argument("--hardware", choices=HARDWARE_CHOICES,
+                   default="partitioned")
+    p.add_argument("--unchecked", action="store_true")
+    p.set_defaults(func=cmd_leakage)
+
+    p = sub.add_parser("contract", help="verify a hardware model")
+    p.add_argument("model", choices=HARDWARE_CHOICES)
+    common(p, program=False)
+    p.add_argument("--trials", type=int, default=15)
+    p.set_defaults(func=cmd_contract)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Hardware models: the machine-environment contract and four realizations.
+
+* :class:`~repro.hardware.null.NullHardware` -- fixed-cost abstract machine
+  (the implicit model of prior language-based work);
+* :class:`~repro.hardware.standard.StandardHardware` -- commodity shared
+  caches, label-oblivious (the paper's insecure ``nopar`` baseline);
+* :class:`~repro.hardware.nofill.NoFillHardware` -- the Sec. 4.2 realization
+  on standard hardware via no-fill mode;
+* :class:`~repro.hardware.partitioned.PartitionedHardware` -- the Sec. 4.3
+  statically partitioned cache/TLB design.
+"""
+
+from typing import Callable, Dict, Optional
+
+from ..lattice import Lattice
+from .branch import BranchPredictor, BranchPredictorParams
+from .cache import Cache
+from .contract import (
+    ContractReport,
+    Violation,
+    check_determinism,
+    check_read_label,
+    check_single_step_ni,
+    check_write_label,
+    run_contract_suite,
+)
+from .hierarchy import Hierarchy
+from .interface import MachineEnvironment, StepKind
+from .nofill import NoFillHardware
+from .null import NullHardware
+from .params import (
+    CacheParams,
+    MachineParams,
+    TlbParams,
+    paper_machine,
+    tiny_machine,
+)
+from .partitioned import PartitionedHardware
+from .standard import StandardHardware
+from .tlb import Tlb
+
+_MODELS: Dict[str, Callable] = {
+    "null": NullHardware,
+    "standard": StandardHardware,
+    "nopar": StandardHardware,  # the paper's name for the baseline
+    "nofill": NoFillHardware,
+    "partitioned": PartitionedHardware,
+}
+
+
+def make_hardware(
+    name: str, lattice: Lattice, params: Optional[MachineParams] = None
+) -> MachineEnvironment:
+    """Build a hardware model by name: ``null``, ``standard``/``nopar``,
+    ``nofill``, or ``partitioned``."""
+    try:
+        model = _MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown hardware model {name!r}; choose from {sorted(_MODELS)}"
+        ) from None
+    if name == "null":
+        return model(lattice)
+    return model(lattice, params)
+
+
+__all__ = [
+    "BranchPredictor",
+    "BranchPredictorParams",
+    "Cache",
+    "CacheParams",
+    "ContractReport",
+    "Hierarchy",
+    "MachineEnvironment",
+    "MachineParams",
+    "NoFillHardware",
+    "NullHardware",
+    "PartitionedHardware",
+    "StandardHardware",
+    "StepKind",
+    "Tlb",
+    "TlbParams",
+    "Violation",
+    "check_determinism",
+    "check_read_label",
+    "check_single_step_ni",
+    "check_write_label",
+    "make_hardware",
+    "paper_machine",
+    "run_contract_suite",
+    "tiny_machine",
+]

@@ -1,0 +1,114 @@
+"""A set-associative cache simulator with true-LRU replacement.
+
+Following Sec. 4.1 of the paper, the model is the *coarse-grained*
+abstraction: a cache line is a ``(tag, valid)`` pair -- data-block contents
+are not modeled, because on real hardware they do not affect access time.
+The paper argues this coarseness is exactly what lets confidential values sit
+in a public cache partition without violating single-step noninterference
+(Property 7): the environment never contains values, only address tags.
+
+The simulator exposes a deliberately small surface:
+
+* :meth:`Cache.lookup` -- timing-visible presence test, no state change;
+* :meth:`Cache.touch` -- record a use (install on miss, LRU-promote on hit);
+* :meth:`Cache.evict` -- remove a block (used by the partitioned design's
+  single-copy consistency move);
+* :meth:`Cache.state` -- a hashable snapshot for projected equivalence.
+
+Keeping *lookup* separate from *touch* is what lets the secure designs serve
+"silent hits" (reads that must not perturb replacement state, e.g. a
+high-context hit in a low partition, Property 5).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Tuple
+
+from .params import CacheParams
+
+
+class Cache:
+    """One cache: ``sets`` sets of ``ways`` lines of ``block_bytes`` bytes."""
+
+    def __init__(self, params: CacheParams):
+        self.params = params
+        # Each set is an OrderedDict from tag to None; order encodes LRU
+        # (least-recently-used first).
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(params.sets)
+        ]
+
+    # -- address arithmetic ---------------------------------------------------
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        block = address // self.params.block_bytes
+        return block % self.params.sets, block // self.params.sets
+
+    # -- operations -------------------------------------------------------------
+
+    def lookup(self, address: int) -> bool:
+        """Is the block containing ``address`` present?  No state change."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def touch(self, address: int) -> bool:
+        """Use the block: LRU-promote on hit, install (evicting LRU) on miss.
+
+        Returns True on hit.
+        """
+        set_index, tag = self._locate(address)
+        lines = self._sets[set_index]
+        if tag in lines:
+            lines.move_to_end(tag)
+            return True
+        if len(lines) >= self.params.ways:
+            lines.popitem(last=False)
+        lines[tag] = None
+        return False
+
+    def evict(self, address: int) -> bool:
+        """Remove the block containing ``address`` if present."""
+        set_index, tag = self._locate(address)
+        lines = self._sets[set_index]
+        if tag in lines:
+            del lines[tag]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache."""
+        for lines in self._sets:
+            lines.clear()
+
+    def preload(self, addresses) -> None:
+        """Touch a sequence of addresses (e.g. to warm the cache)."""
+        for address in addresses:
+            self.touch(address)
+
+    # -- inspection ----------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(len(lines) for lines in self._sets)
+
+    def state(self) -> Tuple[Tuple[int, ...], ...]:
+        """A hashable snapshot: per set, the resident tags in LRU order.
+
+        This is the environment's contribution to projected equivalence:
+        two caches are indistinguishable exactly when their snapshots match.
+        LRU order is included because it determines future evictions and is
+        therefore timing-relevant state.
+        """
+        return tuple(tuple(lines.keys()) for lines in self._sets)
+
+    def clone(self) -> "Cache":
+        twin = Cache(self.params)
+        twin._sets = [OrderedDict(lines) for lines in self._sets]
+        return twin
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.params.name!r}, {self.occupancy()}/"
+            f"{self.params.sets * self.params.ways} lines)"
+        )

@@ -1,0 +1,374 @@
+"""Executable checkers for the hardware side of the software/hardware contract.
+
+Sec. 3.5-3.6 of the paper state seven properties a full semantics must
+satisfy.  Four of them constrain the *hardware* alone and are checked here
+against any :class:`~repro.hardware.interface.MachineEnvironment`:
+
+* Property 2 (deterministic execution): same stimulus, same cost and state.
+* Property 5 (write label): a step with write label ``lw`` leaves state at
+  every level ``l`` with ``lw !<= l`` untouched.
+* Property 6 (read label): two environments that agree at and below the read
+  label charge the same cost for the same step.
+* Property 7 (single-step machine-environment noninterference): for every
+  level ``l``, the post-state at and below ``l`` is a function of the
+  pre-state at and below ``l`` and the access trace.
+
+The remaining properties (1 adequacy, 3 sequential composition, 4 sleep
+accuracy) constrain the language semantics and are checked in
+:mod:`repro.semantics.faithfulness`.
+
+The checkers are randomized: they drive the environment with seeded random
+access traces drawn from a small address pool (so cache sets collide and
+evictions happen), construct pairs of environments that are provably
+``l``-equivalent by diverging them only with steps whose write labels cannot
+reach ``l``, and then compare a probe step.  A note on Properties 6/7 and
+addresses: in the paper's scalar language the addresses a command touches
+are syntactically determined, so "same command, equivalent memories" implies
+"same access trace".  Our array extension can make addresses value-dependent,
+which the *type system* handles (array-index labels must flow to the write
+label); the hardware-level property is therefore stated over equal traces,
+which is exactly the obligation the paper's designs discharge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..lattice import Label, Lattice
+from ..machine.layout import AccessTrace
+from .interface import MachineEnvironment, StepKind
+
+EnvFactory = Callable[[], MachineEnvironment]
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """One synthetic step: a trace plus its labels and kind."""
+
+    kind: StepKind
+    trace: AccessTrace
+    read_label: Label
+    write_label: Label
+
+
+@dataclass
+class Violation:
+    """A concrete counterexample to one contract property."""
+
+    prop: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.prop}] {self.detail}"
+
+
+@dataclass
+class ContractReport:
+    """Aggregated results of a contract-checking run."""
+
+    violations: Dict[str, List[Violation]] = field(default_factory=dict)
+    checked: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, prop: str, violation: Violation = None) -> None:
+        self.checked[prop] = self.checked.get(prop, 0) + 1
+        if violation is not None:
+            self.violations.setdefault(prop, []).append(violation)
+
+    def ok(self, prop: str = None) -> bool:
+        if prop is not None:
+            return not self.violations.get(prop)
+        return not any(self.violations.values())
+
+    def failing_properties(self) -> Tuple[str, ...]:
+        return tuple(sorted(p for p, v in self.violations.items() if v))
+
+    def summary(self) -> str:
+        lines = []
+        for prop in sorted(self.checked):
+            bad = len(self.violations.get(prop, []))
+            verdict = "OK" if bad == 0 else f"{bad} violations"
+            lines.append(f"{prop}: {self.checked[prop]} checks, {verdict}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Stimulus generation
+# ---------------------------------------------------------------------------
+
+_PROBE_KINDS = (
+    StepKind.SKIP,
+    StepKind.ASSIGN,
+    StepKind.BRANCH,
+    StepKind.MITIGATE,
+)
+
+
+def _address_pool(rng: random.Random, size: int = 24) -> List[int]:
+    """A small pool of data/instruction addresses with deliberate set
+    collisions (shared low bits) so replacement behaviour is exercised."""
+    pool = []
+    for _ in range(size):
+        base = rng.randrange(0, 1 << 20)
+        pool.append(0x1000_0000 + base * 4)
+    return pool
+
+
+def random_stimulus(
+    rng: random.Random,
+    lattice: Lattice,
+    data_pool: Sequence[int],
+    code_pool: Sequence[int],
+    labels: Tuple[Label, Label] = None,
+) -> Stimulus:
+    """One random step; ``labels`` pins the (read, write) labels if given."""
+    if labels is None:
+        read = rng.choice(lattice.levels())
+        # Favour lr = lw, the combination real designs optimize for.
+        write = read if rng.random() < 0.7 else rng.choice(lattice.levels())
+    else:
+        read, write = labels
+    n_reads = rng.randrange(0, 3)
+    n_writes = rng.randrange(0, 2)
+    kind = rng.choice(_PROBE_KINDS)
+    taken = rng.choice((True, False)) if kind == StepKind.BRANCH else None
+    trace = AccessTrace(
+        instruction=rng.choice(code_pool),
+        reads=tuple(rng.choice(data_pool) for _ in range(n_reads)),
+        writes=tuple(rng.choice(data_pool) for _ in range(n_writes)),
+        taken=taken,
+    )
+    return Stimulus(kind, trace, read, write)
+
+
+def _apply(env: MachineEnvironment, stim: Stimulus) -> int:
+    return env.step(stim.kind, stim.trace, stim.read_label, stim.write_label)
+
+
+def _diverging_labels(lattice: Lattice, level: Label) -> List[Tuple[Label, Label]]:
+    """Label pairs whose write label cannot reach any level at or below
+    ``level`` -- steps safe to apply to one side of an ``~level`` pair."""
+    pairs = []
+    below = [l for l in lattice.levels() if l.flows_to(level)]
+    for write in lattice.levels():
+        if any(write.flows_to(l) for l in below):
+            continue
+        for read in lattice.levels():
+            pairs.append((read, write))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Individual property checkers
+# ---------------------------------------------------------------------------
+
+
+def check_determinism(
+    factory: EnvFactory,
+    lattice: Lattice,
+    trials: int = 20,
+    steps: int = 40,
+    seed: int = 0,
+    report: ContractReport = None,
+) -> ContractReport:
+    """Property 2: identical stimulus sequences yield identical costs/state."""
+    report = report if report is not None else ContractReport()
+    rng = random.Random(seed)
+    for trial in range(trials):
+        data_pool = _address_pool(rng)
+        code_pool = _address_pool(rng)
+        stimuli = [
+            random_stimulus(rng, lattice, data_pool, code_pool)
+            for _ in range(steps)
+        ]
+        env1, env2 = factory(), factory()
+        for i, stim in enumerate(stimuli):
+            c1 = _apply(env1, stim)
+            c2 = _apply(env2, stim)
+            violation = None
+            if c1 != c2:
+                violation = Violation(
+                    "P2-determinism",
+                    f"trial {trial} step {i}: costs {c1} != {c2}",
+                )
+            elif env1.full_state() != env2.full_state():
+                violation = Violation(
+                    "P2-determinism",
+                    f"trial {trial} step {i}: states diverged",
+                )
+            report.record("P2-determinism", violation)
+            if violation:
+                break
+    return report
+
+
+def check_write_label(
+    factory: EnvFactory,
+    lattice: Lattice,
+    trials: int = 20,
+    steps: int = 40,
+    seed: int = 1,
+    report: ContractReport = None,
+) -> ContractReport:
+    """Property 5: a step leaves every level its write label cannot reach
+    unchanged."""
+    report = report if report is not None else ContractReport()
+    rng = random.Random(seed)
+    for trial in range(trials):
+        data_pool = _address_pool(rng)
+        code_pool = _address_pool(rng)
+        env = factory()
+        for i in range(steps):
+            stim = random_stimulus(rng, lattice, data_pool, code_pool)
+            before = {
+                level: env.project(level)
+                for level in lattice.levels()
+                if not stim.write_label.flows_to(level)
+            }
+            _apply(env, stim)
+            violation = None
+            for level, snapshot in before.items():
+                if env.project(level) != snapshot:
+                    violation = Violation(
+                        "P5-write-label",
+                        f"trial {trial} step {i}: step with lw="
+                        f"{stim.write_label} modified level {level} state",
+                    )
+                    break
+            report.record("P5-write-label", violation)
+            if violation:
+                break
+    return report
+
+
+def _equivalent_pair(
+    factory: EnvFactory,
+    lattice: Lattice,
+    level: Label,
+    rng: random.Random,
+    data_pool: Sequence[int],
+    code_pool: Sequence[int],
+    shared_steps: int,
+    divergent_steps: int,
+):
+    """Build a pair of environments that are ``~level``-equivalent but have
+    (usually) different state above ``level``.  Returns None when the
+    construction failed -- i.e. the hardware broke Property 5 during the
+    divergence phase, which a separate checker reports."""
+    env1, env2 = factory(), factory()
+    for _ in range(shared_steps):
+        stim = random_stimulus(rng, lattice, data_pool, code_pool)
+        _apply(env1, stim)
+        _apply(env2, stim)
+    label_pairs = _diverging_labels(lattice, level)
+    if label_pairs:
+        for _ in range(divergent_steps):
+            for env in (env1, env2):
+                stim = random_stimulus(
+                    rng, lattice, data_pool, code_pool,
+                    labels=rng.choice(label_pairs),
+                )
+                _apply(env, stim)
+    if not env1.equivalent_to(env2, level):
+        return None
+    return env1, env2
+
+
+def check_read_label(
+    factory: EnvFactory,
+    lattice: Lattice,
+    trials: int = 20,
+    seed: int = 2,
+    report: ContractReport = None,
+) -> ContractReport:
+    """Property 6: step cost depends only on state at or below the read
+    label (given the same trace)."""
+    report = report if report is not None else ContractReport()
+    rng = random.Random(seed)
+    for trial in range(trials):
+        data_pool = _address_pool(rng)
+        code_pool = _address_pool(rng)
+        for read_label in lattice.levels():
+            pair = _equivalent_pair(
+                factory, lattice, read_label, rng, data_pool, code_pool,
+                shared_steps=15, divergent_steps=15,
+            )
+            if pair is None:
+                continue  # P5 broke; reported by check_write_label
+            env1, env2 = pair
+            for write_label in lattice.levels():
+                probe = random_stimulus(
+                    rng, lattice, data_pool, code_pool,
+                    labels=(read_label, write_label),
+                )
+                c1 = _apply(env1.clone(), probe)
+                c2 = _apply(env2.clone(), probe)
+                violation = None
+                if c1 != c2:
+                    violation = Violation(
+                        "P6-read-label",
+                        f"trial {trial}: lr={read_label} lw={write_label}: "
+                        f"~{read_label}-equivalent environments charged "
+                        f"{c1} != {c2}",
+                    )
+                report.record("P6-read-label", violation)
+    return report
+
+
+def check_single_step_ni(
+    factory: EnvFactory,
+    lattice: Lattice,
+    trials: int = 20,
+    seed: int = 3,
+    report: ContractReport = None,
+) -> ContractReport:
+    """Property 7: for every level l, stepping two ``~l``-equivalent
+    environments with the same trace leaves them ``~l``-equivalent."""
+    report = report if report is not None else ContractReport()
+    rng = random.Random(seed)
+    for trial in range(trials):
+        data_pool = _address_pool(rng)
+        code_pool = _address_pool(rng)
+        for level in lattice.levels():
+            pair = _equivalent_pair(
+                factory, lattice, level, rng, data_pool, code_pool,
+                shared_steps=15, divergent_steps=15,
+            )
+            if pair is None:
+                continue
+            env1, env2 = pair
+            probe = random_stimulus(rng, lattice, data_pool, code_pool)
+            _apply(env1, probe)
+            _apply(env2, probe)
+            violation = None
+            if not env1.equivalent_to(env2, level):
+                violation = Violation(
+                    "P7-single-step-NI",
+                    f"trial {trial}: level {level}: equal traces broke "
+                    f"~{level} equivalence (probe lr={probe.read_label}, "
+                    f"lw={probe.write_label})",
+                )
+            report.record("P7-single-step-NI", violation)
+    return report
+
+
+def run_contract_suite(
+    factory: EnvFactory,
+    lattice: Lattice,
+    trials: int = 20,
+    seed: int = 0,
+) -> ContractReport:
+    """Run every hardware-side property checker and aggregate the results."""
+    report = ContractReport()
+    check_determinism(factory, lattice, trials=trials, seed=seed, report=report)
+    check_write_label(
+        factory, lattice, trials=trials, seed=seed + 1, report=report
+    )
+    check_read_label(
+        factory, lattice, trials=trials, seed=seed + 2, report=report
+    )
+    check_single_step_ni(
+        factory, lattice, trials=trials, seed=seed + 3, report=report
+    )
+    return report

@@ -1,0 +1,259 @@
+"""A fluent Python API for constructing programs.
+
+The case-study applications (``repro.apps``) build nontrivial programs --
+hash lookups, modular exponentiation -- and doing that through raw AST
+constructors is noisy.  This module provides a small embedded DSL::
+
+    from repro.lang.builder import B
+    from repro.lattice import two_point
+
+    lat = two_point()
+    L, H = lat["L"], lat["H"]
+    b = B(lat)
+    prog = b.seq(
+        b.assign("x", b.v("y") + 1, L, L),
+        b.while_(b.v("x") > 0, b.assign("x", b.v("x") - 1, L, L), L, L),
+    )
+
+Expression fragments (:class:`E`) overload the Python operators; comparisons
+produce language-level comparison nodes (value 0/1), so they cannot be used
+in Python ``if`` conditions -- build the AST instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..lattice import Label, Lattice
+from . import ast
+
+Exprish = Union["E", ast.Expr, int, str]
+
+
+class E:
+    """A wrapper around :class:`~repro.lang.ast.Expr` with operator overloads."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.Expr):
+        self.node = node
+
+    # arithmetic -----------------------------------------------------------
+    def __add__(self, other: Exprish) -> "E":
+        return _bin("+", self, other)
+
+    def __radd__(self, other: Exprish) -> "E":
+        return _bin("+", other, self)
+
+    def __sub__(self, other: Exprish) -> "E":
+        return _bin("-", self, other)
+
+    def __rsub__(self, other: Exprish) -> "E":
+        return _bin("-", other, self)
+
+    def __mul__(self, other: Exprish) -> "E":
+        return _bin("*", self, other)
+
+    def __rmul__(self, other: Exprish) -> "E":
+        return _bin("*", other, self)
+
+    def __floordiv__(self, other: Exprish) -> "E":
+        return _bin("/", self, other)
+
+    def __rfloordiv__(self, other: Exprish) -> "E":
+        return _bin("/", other, self)
+
+    def __mod__(self, other: Exprish) -> "E":
+        return _bin("%", self, other)
+
+    def __rmod__(self, other: Exprish) -> "E":
+        return _bin("%", other, self)
+
+    def __lshift__(self, other: Exprish) -> "E":
+        return _bin("<<", self, other)
+
+    def __rshift__(self, other: Exprish) -> "E":
+        return _bin(">>", self, other)
+
+    def __and__(self, other: Exprish) -> "E":
+        return _bin("&", self, other)
+
+    def __or__(self, other: Exprish) -> "E":
+        return _bin("|", self, other)
+
+    def __xor__(self, other: Exprish) -> "E":
+        return _bin("^", self, other)
+
+    def __neg__(self) -> "E":
+        return E(ast.UnOp(op="-", operand=self.node))
+
+    # comparisons (produce language-level 0/1 values) ------------------------
+    def __eq__(self, other: Exprish) -> "E":  # type: ignore[override]
+        return _bin("==", self, other)
+
+    def __ne__(self, other: Exprish) -> "E":  # type: ignore[override]
+        return _bin("!=", self, other)
+
+    def __lt__(self, other: Exprish) -> "E":
+        return _bin("<", self, other)
+
+    def __le__(self, other: Exprish) -> "E":
+        return _bin("<=", self, other)
+
+    def __gt__(self, other: Exprish) -> "E":
+        return _bin(">", self, other)
+
+    def __ge__(self, other: Exprish) -> "E":
+        return _bin(">=", self, other)
+
+    def and_(self, other: Exprish) -> "E":
+        return _bin("&&", self, other)
+
+    def or_(self, other: Exprish) -> "E":
+        return _bin("||", self, other)
+
+    def not_(self) -> "E":
+        return E(ast.UnOp(op="!", operand=self.node))
+
+    __hash__ = None  # type: ignore[assignment]  # == is overloaded
+
+    def __repr__(self) -> str:
+        from .pretty import pretty_expr
+
+        return f"E({pretty_expr(self.node)})"
+
+
+def _coerce(value: Exprish) -> ast.Expr:
+    if isinstance(value, E):
+        return value.node
+    if isinstance(value, ast.Expr):
+        return value
+    if isinstance(value, bool):
+        return ast.IntLit(int(value))
+    if isinstance(value, int):
+        return ast.IntLit(value)
+    if isinstance(value, str):
+        return ast.Var(value)
+    raise TypeError(f"cannot use {value!r} as an expression")
+
+
+def _bin(op: str, left: Exprish, right: Exprish) -> E:
+    return E(ast.BinOp(op=op, left=_coerce(left), right=_coerce(right)))
+
+
+class B:
+    """Command builder bound to a security lattice."""
+
+    def __init__(self, lattice: Lattice):
+        self.lattice = lattice
+
+    # expressions ------------------------------------------------------------
+    @staticmethod
+    def v(name: str) -> E:
+        """A scalar variable reference."""
+        return E(ast.Var(name))
+
+    @staticmethod
+    def lit(value: int) -> E:
+        """An integer literal."""
+        return E(ast.IntLit(value))
+
+    @staticmethod
+    def at(array: str, index: Exprish) -> E:
+        """An array element read ``array[index]``."""
+        return E(ast.ArrayRead(array=array, index=_coerce(index)))
+
+    # commands ----------------------------------------------------------------
+    @staticmethod
+    def seq(*commands: ast.Command) -> ast.Command:
+        return ast.seq(*commands)
+
+    @staticmethod
+    def skip(
+        read: Optional[Label] = None, write: Optional[Label] = None
+    ) -> ast.Skip:
+        return ast.Skip(read_label=read, write_label=write)
+
+    @staticmethod
+    def assign(
+        target: str,
+        value: Exprish,
+        read: Optional[Label] = None,
+        write: Optional[Label] = None,
+    ) -> ast.Assign:
+        return ast.Assign(
+            target=target, expr=_coerce(value), read_label=read, write_label=write
+        )
+
+    @staticmethod
+    def store(
+        array: str,
+        index: Exprish,
+        value: Exprish,
+        read: Optional[Label] = None,
+        write: Optional[Label] = None,
+    ) -> ast.ArrayAssign:
+        return ast.ArrayAssign(
+            array=array,
+            index=_coerce(index),
+            expr=_coerce(value),
+            read_label=read,
+            write_label=write,
+        )
+
+    @staticmethod
+    def if_(
+        cond: Exprish,
+        then_branch: ast.Command,
+        else_branch: Optional[ast.Command] = None,
+        read: Optional[Label] = None,
+        write: Optional[Label] = None,
+    ) -> ast.If:
+        if else_branch is None:
+            else_branch = ast.Skip(read_label=read, write_label=write)
+        return ast.If(
+            cond=_coerce(cond),
+            then_branch=then_branch,
+            else_branch=else_branch,
+            read_label=read,
+            write_label=write,
+        )
+
+    @staticmethod
+    def while_(
+        cond: Exprish,
+        body: ast.Command,
+        read: Optional[Label] = None,
+        write: Optional[Label] = None,
+    ) -> ast.While:
+        return ast.While(
+            cond=_coerce(cond), body=body, read_label=read, write_label=write
+        )
+
+    @staticmethod
+    def sleep(
+        duration: Exprish,
+        read: Optional[Label] = None,
+        write: Optional[Label] = None,
+    ) -> ast.Sleep:
+        return ast.Sleep(
+            duration=_coerce(duration), read_label=read, write_label=write
+        )
+
+    @staticmethod
+    def mitigate(
+        budget: Exprish,
+        level: Label,
+        body: ast.Command,
+        mit_id: Optional[str] = None,
+        read: Optional[Label] = None,
+        write: Optional[Label] = None,
+    ) -> ast.Mitigate:
+        return ast.Mitigate(
+            budget=_coerce(budget),
+            level=level,
+            body=body,
+            mit_id=mit_id,
+            read_label=read,
+            write_label=write,
+        )

@@ -1,0 +1,121 @@
+"""Hand-written lexer for the concrete syntax of the timing-label language.
+
+The concrete syntax (see :mod:`repro.lang.parser`) uses a small token set:
+identifiers, integer literals, multi-character operators, punctuation, and
+keywords.  Comments run from ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+class LexError(SyntaxError):
+    """Raised on an unrecognized character in the source text."""
+
+
+KEYWORDS = frozenset(
+    {"skip", "if", "then", "else", "while", "do", "sleep", "mitigate"}
+)
+
+# Longest-match-first operator table.
+_OPERATORS: Tuple[str, ...] = (
+    ":=",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "@",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: ``kind`` is one of ``int``, ``ident``, ``keyword``,
+    an operator's own spelling, or ``eof``."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r} @{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens, ending with a single ``eof`` token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            yield Token("int", source[start:i], line, col)
+            col += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line, col)
+            col += i - start
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                yield Token(op, op, line, col)
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise LexError(
+                f"unexpected character {ch!r} at line {line}, column {col}"
+            )
+    yield Token("eof", "", line, col)

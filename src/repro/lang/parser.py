@@ -1,0 +1,321 @@
+"""Recursive-descent parser for the timing-label language.
+
+Concrete syntax (paper's Fig. 1, in an ASCII rendering, plus arrays)::
+
+    command  := labeled (';' labeled)* ';'?
+    labeled  := base annot?
+    base     := 'skip'
+              | IDENT ':=' expr
+              | IDENT '[' expr ']' ':=' expr
+              | 'if' expr 'then' '{' command '}' 'else' '{' command '}'
+              | 'while' expr 'do' '{' command '}'
+              | 'sleep' '(' expr ')'
+              | 'mitigate' ('@' IDENT)? '(' expr ',' LABEL ')' '{' command '}'
+    annot    := '[' LABEL ',' LABEL ']'        -- read label, write label
+
+``LABEL`` is a level name from the parse-time lattice, or ``_`` meaning
+"leave unannotated" (to be filled by label inference).  Expressions use
+C-like operator precedence.  Example::
+
+    if h1 then { h2 := l1 [L,H] } else { h2 := l2 [L,H] } [L,H];
+    l3 := l1 [L,L]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..lattice import Label, Lattice, two_point
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    """Raised on a syntactically invalid program."""
+
+
+#: The lattice used when none is supplied.  A shared instance (rather than a
+#: fresh ``two_point()`` per parse) so that labels from separately parsed
+#: default-lattice programs compare equal.
+DEFAULT_LATTICE = two_point()
+
+
+# Binary operator precedence, loosest first.  Each tier is left-associative.
+_PRECEDENCE: List[List[str]] = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """Parses a token stream against a security lattice.
+
+    The lattice is needed at parse time because label annotations are level
+    *names*; they resolve to :class:`~repro.lattice.Label` objects eagerly so
+    the rest of the toolchain never handles raw strings.
+    """
+
+    def __init__(self, source: str, lattice: Optional[Lattice] = None):
+        self.lattice = lattice if lattice is not None else DEFAULT_LATTICE
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _scan_label(self, pos: int) -> Optional[int]:
+        """If a label name starts at token ``pos``, return the position just
+        past it, else None.  Labels are identifiers (including ``_``) or
+        powerset-style brace sets ``{a,b}`` / ``{}``."""
+        tok = self.tokens[pos]
+        if tok.kind == "ident":
+            return pos + 1
+        if tok.kind == "{":
+            pos += 1
+            if self.tokens[pos].kind == "}":
+                return pos + 1
+            while True:
+                if self.tokens[pos].kind != "ident":
+                    return None
+                pos += 1
+                if self.tokens[pos].kind == "}":
+                    return pos + 1
+                if self.tokens[pos].kind != ",":
+                    return None
+                pos += 1
+        return None
+
+    def _at_annotation(self) -> bool:
+        """Lookahead disambiguating ``[L,H]`` annotations from ``a[i]`` array
+        subscripts: an annotation is exactly ``[ label , label ]`` (array
+        indices are single expressions, so they never contain a top-level
+        comma)."""
+        if self.tokens[self.pos].kind != "[":
+            return False
+        after_first = self._scan_label(self.pos + 1)
+        if after_first is None or self.tokens[after_first].kind != ",":
+            return False
+        after_second = self._scan_label(after_first + 1)
+        return (after_second is not None
+                and self.tokens[after_second].kind == "]")
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._peek()
+        if not self._check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r} but found {tok.text or tok.kind!r} "
+                f"at line {tok.line}, column {tok.column}"
+            )
+        return self._advance()
+
+    # -- entry point ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Command:
+        cmd = self._command()
+        self._expect("eof")
+        return cmd
+
+    def parse_expression(self) -> ast.Expr:
+        expr = self._expr()
+        self._expect("eof")
+        return expr
+
+    # -- commands --------------------------------------------------------------
+
+    def _command(self) -> ast.Command:
+        parts = [self._labeled()]
+        while self._match(";"):
+            if self._check("eof") or self._check("}"):
+                break  # tolerate a trailing semicolon
+            parts.append(self._labeled())
+        return ast.seq(*parts)
+
+    def _labeled(self) -> ast.Command:
+        cmd = self._base()
+        read_label, write_label = self._annotation()
+        assert isinstance(cmd, ast.LabeledCommand)
+        cmd.read_label = read_label
+        cmd.write_label = write_label
+        return cmd
+
+    def _annotation(self):
+        if not self._match("["):
+            return None, None
+        read_label = self._label_name()
+        self._expect(",")
+        write_label = self._label_name()
+        self._expect("]")
+        return read_label, write_label
+
+    def _label_name(self) -> Optional[Label]:
+        tok = self._peek()
+        if tok.kind == "ident" and tok.text == "_":
+            self._advance()
+            return None
+        if tok.kind == "{":
+            # Powerset-style level names: {}, {a}, {a,b}, ...
+            end = self._scan_label(self.pos)
+            if end is None:
+                raise ParseError(
+                    f"malformed brace-set level name at line {tok.line}, "
+                    f"column {tok.column}"
+                )
+            parts = [
+                t.text for t in self.tokens[self.pos + 1:end - 1]
+                if t.kind == "ident"
+            ]
+            self.pos = end
+            name = "{" + ",".join(sorted(parts)) + "}"
+        elif tok.kind == "ident":
+            self._advance()
+            name = tok.text
+        else:
+            raise ParseError(
+                f"expected a security level name at line {tok.line}, "
+                f"column {tok.column}, found {tok.text or tok.kind!r}"
+            )
+        if name not in self.lattice:
+            raise ParseError(
+                f"unknown security level {name!r} at line {tok.line}; "
+                f"lattice levels are {[l.name for l in self.lattice]}"
+            )
+        return self.lattice[name]
+
+    def _block(self) -> ast.Command:
+        self._expect("{")
+        cmd = self._command()
+        self._expect("}")
+        return cmd
+
+    def _base(self) -> ast.Command:
+        tok = self._peek()
+        if self._match("keyword", "skip"):
+            return ast.Skip()
+        if self._match("keyword", "sleep"):
+            self._expect("(")
+            duration = self._expr()
+            self._expect(")")
+            return ast.Sleep(duration=duration)
+        if self._match("keyword", "if"):
+            cond = self._expr()
+            self._expect("keyword", "then")
+            then_branch = self._block()
+            self._expect("keyword", "else")
+            else_branch = self._block()
+            return ast.If(
+                cond=cond, then_branch=then_branch, else_branch=else_branch
+            )
+        if self._match("keyword", "while"):
+            cond = self._expr()
+            self._expect("keyword", "do")
+            body = self._block()
+            return ast.While(cond=cond, body=body)
+        if self._match("keyword", "mitigate"):
+            mit_id = None
+            if self._match("@"):
+                mit_id = self._expect("ident").text
+            self._expect("(")
+            budget = self._expr()
+            self._expect(",")
+            level = self._label_name()
+            if level is None:
+                raise ParseError(
+                    f"mitigate at line {tok.line} needs an explicit "
+                    "mitigation level (not '_')"
+                )
+            self._expect(")")
+            body = self._block()
+            return ast.Mitigate(
+                budget=budget, level=level, body=body, mit_id=mit_id
+            )
+        if tok.kind == "ident":
+            name = self._advance().text
+            if self._match("["):
+                index = self._expr()
+                self._expect("]")
+                self._expect(":=")
+                value = self._expr()
+                return ast.ArrayAssign(array=name, index=index, expr=value)
+            self._expect(":=")
+            value = self._expr()
+            return ast.Assign(target=name, expr=value)
+        raise ParseError(
+            f"expected a command at line {tok.line}, column {tok.column}, "
+            f"found {tok.text or tok.kind!r}"
+        )
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self, tier: int = 0) -> ast.Expr:
+        if tier >= len(_PRECEDENCE):
+            return self._unary()
+        left = self._expr(tier + 1)
+        while any(self._check(op) for op in _PRECEDENCE[tier]):
+            op = self._advance().text
+            right = self._expr(tier + 1)
+            left = ast.BinOp(op=op, left=left, right=right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        if self._match("-"):
+            return ast.UnOp(op="-", operand=self._unary())
+        if self._match("!"):
+            return ast.UnOp(op="!", operand=self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "int":
+            self._advance()
+            return ast.IntLit(int(tok.text))
+        if tok.kind == "ident":
+            self._advance()
+            if self._check("[") and not self._at_annotation():
+                self._advance()
+                index = self._expr()
+                self._expect("]")
+                return ast.ArrayRead(array=tok.text, index=index)
+            return ast.Var(tok.text)
+        if self._match("("):
+            inner = self._expr()
+            self._expect(")")
+            return inner
+        raise ParseError(
+            f"expected an expression at line {tok.line}, column {tok.column}, "
+            f"found {tok.text or tok.kind!r}"
+        )
+
+
+def parse(source: str, lattice: Optional[Lattice] = None) -> ast.Command:
+    """Parse a whole program.  See the module docstring for the grammar."""
+    return Parser(source, lattice).parse_program()
+
+
+def parse_expr(source: str, lattice: Optional[Lattice] = None) -> ast.Expr:
+    """Parse a single expression."""
+    return Parser(source, lattice).parse_expression()

@@ -1,0 +1,105 @@
+"""Pretty-printer for the timing-label language.
+
+``pretty(parse(s))`` re-parses to a structurally equal AST; the property
+tests in ``tests/property/test_parser_roundtrip.py`` check both directions.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+# Must agree with repro.lang.parser._PRECEDENCE (loosest first).
+_TIER = {
+    "||": 0,
+    "&&": 1,
+    "|": 2,
+    "^": 3,
+    "&": 4,
+    "==": 5,
+    "!=": 5,
+    "<": 6,
+    "<=": 6,
+    ">": 6,
+    ">=": 6,
+    "<<": 7,
+    ">>": 7,
+    "+": 8,
+    "-": 8,
+    "*": 9,
+    "/": 9,
+    "%": 9,
+}
+_UNARY_TIER = 10
+
+
+def pretty_expr(expr: ast.Expr, parent_tier: int = -1) -> str:
+    """Render an expression, inserting parentheses only where needed."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.ArrayRead):
+        return f"{expr.array}[{pretty_expr(expr.index)}]"
+    if isinstance(expr, ast.UnOp):
+        inner = pretty_expr(expr.operand, _UNARY_TIER)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_tier > _UNARY_TIER else text
+    if isinstance(expr, ast.BinOp):
+        tier = _TIER[expr.op]
+        # Left-associative: the left child may share the tier, the right
+        # child must bind strictly tighter.
+        left = pretty_expr(expr.left, tier)
+        right = pretty_expr(expr.right, tier + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_tier > tier else text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _annotation(cmd: ast.LabeledCommand) -> str:
+    if cmd.read_label is None and cmd.write_label is None:
+        return ""
+    read = cmd.read_label.name if cmd.read_label is not None else "_"
+    write = cmd.write_label.name if cmd.write_label is not None else "_"
+    return f" [{read},{write}]"
+
+
+def pretty(cmd: ast.Command, indent: int = 0) -> str:
+    """Render a command as re-parseable source text."""
+    pad = "    " * indent
+    if isinstance(cmd, ast.Seq):
+        return f"{pretty(cmd.first, indent)};\n{pretty(cmd.second, indent)}"
+    if isinstance(cmd, ast.Skip):
+        return f"{pad}skip{_annotation(cmd)}"
+    if isinstance(cmd, ast.Assign):
+        return f"{pad}{cmd.target} := {pretty_expr(cmd.expr)}{_annotation(cmd)}"
+    if isinstance(cmd, ast.ArrayAssign):
+        return (
+            f"{pad}{cmd.array}[{pretty_expr(cmd.index)}] := "
+            f"{pretty_expr(cmd.expr)}{_annotation(cmd)}"
+        )
+    if isinstance(cmd, ast.Sleep):
+        return f"{pad}sleep({pretty_expr(cmd.duration)}){_annotation(cmd)}"
+    if isinstance(cmd, ast.If):
+        return (
+            f"{pad}if {pretty_expr(cmd.cond)} then {{\n"
+            f"{pretty(cmd.then_branch, indent + 1)}\n"
+            f"{pad}}} else {{\n"
+            f"{pretty(cmd.else_branch, indent + 1)}\n"
+            f"{pad}}}{_annotation(cmd)}"
+        )
+    if isinstance(cmd, ast.While):
+        return (
+            f"{pad}while {pretty_expr(cmd.cond)} do {{\n"
+            f"{pretty(cmd.body, indent + 1)}\n"
+            f"{pad}}}{_annotation(cmd)}"
+        )
+    if isinstance(cmd, ast.Mitigate):
+        # Auto-generated ids are omitted so round-trips do not pin ids that
+        # were never in the source.
+        tag = "" if getattr(cmd, "auto_id", False) else f"@{cmd.mit_id}"
+        return (
+            f"{pad}mitigate{tag}({pretty_expr(cmd.budget)}, {cmd.level.name}) {{\n"
+            f"{pretty(cmd.body, indent + 1)}\n"
+            f"{pad}}}{_annotation(cmd)}"
+        )
+    raise TypeError(f"not a command: {cmd!r}")

@@ -1,0 +1,14 @@
+"""Security lattices: labels, finite lattices, and the paper's builtin orders."""
+
+from .builtins import chain, diamond, powerset, two_point
+from .core import Label, Lattice, LatticeError
+
+__all__ = [
+    "Label",
+    "Lattice",
+    "LatticeError",
+    "chain",
+    "diamond",
+    "powerset",
+    "two_point",
+]

@@ -1,0 +1,33 @@
+"""Program memory, equivalence relations, and static address layout."""
+
+from .layout import (
+    CODE_BASE,
+    DATA_BASE,
+    INSTR_BYTES,
+    WORD_BYTES,
+    AccessTrace,
+    DataAccess,
+    Layout,
+)
+from .memory import (
+    Memory,
+    MemoryError_,
+    equivalent,
+    memories_agreeing_on,
+    projected_equivalent,
+)
+
+__all__ = [
+    "AccessTrace",
+    "CODE_BASE",
+    "DATA_BASE",
+    "DataAccess",
+    "INSTR_BYTES",
+    "Layout",
+    "Memory",
+    "MemoryError_",
+    "WORD_BYTES",
+    "equivalent",
+    "memories_agreeing_on",
+    "projected_equivalent",
+]

@@ -1,0 +1,42 @@
+"""Quantitative security: leakage measurement, variations, bounds, entropy."""
+
+from .bounds import (
+    doubling_duration_count,
+    leakage_bound,
+    leakage_bound_unknown_k,
+    relevant_level_count,
+)
+from .entropy import min_entropy_leakage, shannon_leakage
+from .leakage import (
+    LeakageResult,
+    VariantError,
+    measure_leakage,
+    secret_variants,
+)
+from .variations import (
+    Theorem2Result,
+    VariationResult,
+    check_low_determinism,
+    relevant_projection,
+    timing_variations,
+    verify_theorem2,
+)
+
+__all__ = [
+    "LeakageResult",
+    "Theorem2Result",
+    "VariantError",
+    "VariationResult",
+    "check_low_determinism",
+    "doubling_duration_count",
+    "leakage_bound",
+    "leakage_bound_unknown_k",
+    "measure_leakage",
+    "min_entropy_leakage",
+    "relevant_level_count",
+    "relevant_projection",
+    "secret_variants",
+    "shannon_leakage",
+    "timing_variations",
+    "verify_theorem2",
+]

@@ -1,0 +1,60 @@
+"""Core and full semantics, observable events, and predictive mitigation."""
+
+from .core import (
+    STOP,
+    CoreStep,
+    EvaluationError,
+    core_step,
+    eval_expr,
+    eval_expr_traced,
+    run_core,
+)
+from .events import (
+    Event,
+    MitigationRecord,
+    mitigation_ids,
+    mitigation_times,
+    observable_events,
+    observation_key,
+    project_mitigations,
+)
+from .faithfulness import (
+    check_adequacy,
+    check_sequential_composition,
+    check_sleep_accuracy,
+)
+from .full import ExecutionResult, Interpreter, SemanticsError, execute
+from .mitigation import (
+    DoublingScheme,
+    MitigationState,
+    PolynomialScheme,
+    PredictionScheme,
+)
+
+__all__ = [
+    "CoreStep",
+    "DoublingScheme",
+    "EvaluationError",
+    "Event",
+    "ExecutionResult",
+    "Interpreter",
+    "MitigationRecord",
+    "MitigationState",
+    "PolynomialScheme",
+    "PredictionScheme",
+    "STOP",
+    "SemanticsError",
+    "check_adequacy",
+    "check_sequential_composition",
+    "check_sleep_accuracy",
+    "core_step",
+    "eval_expr",
+    "eval_expr_traced",
+    "execute",
+    "mitigation_ids",
+    "mitigation_times",
+    "observable_events",
+    "observation_key",
+    "project_mitigations",
+    "run_core",
+]

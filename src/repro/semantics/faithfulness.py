@@ -1,0 +1,129 @@
+"""Executable checkers for the faithfulness requirements (Properties 1, 3, 4).
+
+These are the language-side half of the software/hardware contract; the
+hardware-side half (Properties 2, 5-7) lives in
+:mod:`repro.hardware.contract`.
+
+* Property 1 (adequacy): the full semantics computes exactly the executions
+  of the core semantics -- same final memory, same assignment sequence.
+* Property 3 (sequential composition): executing ``c1; c2`` is executing
+  ``c1`` and then ``c2`` from where it left off, with time accumulating.
+* Property 4 (accurate sleep): ``sleep n`` takes exactly ``max(n, 0)``.
+
+Each checker raises no exceptions on failure; it returns a list of violation
+strings so test suites and the verification harness can aggregate them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..lang import ast
+from ..machine.layout import Layout
+from ..machine.memory import Memory
+from ..hardware.interface import MachineEnvironment
+from .core import run_core
+from .full import execute
+from .mitigation import MitigationState
+
+
+def check_adequacy(
+    program: ast.Command,
+    memory: Memory,
+    environment: MachineEnvironment,
+    max_steps: int = 1_000_000,
+) -> List[str]:
+    """Property 1: core and full semantics agree on what is computed."""
+    violations = []
+    core_memory = run_core(program, memory.copy(), max_steps=max_steps)
+    result = execute(
+        program, memory.copy(), environment.clone(), max_steps=max_steps
+    )
+    if core_memory != result.memory:
+        violations.append(
+            "P1-adequacy: core and full semantics reached different final "
+            f"memories: {core_memory!r} vs {result.memory!r}"
+        )
+    return violations
+
+
+def check_sequential_composition(
+    c1: ast.Command,
+    c2: ast.Command,
+    memory: Memory,
+    environment: MachineEnvironment,
+    max_steps: int = 1_000_000,
+) -> List[str]:
+    """Property 3: ``c1; c2`` = ``c1`` then ``c2``, accumulating time.
+
+    All three runs share one address layout (built for the composed
+    program), one mitigation state, and continue from each other's memory
+    and environment -- the composed run must match step for step.
+    """
+    violations = []
+    composed = ast.Seq(first=c1, second=c2)
+    layout = Layout.build(composed, memory)
+
+    # Split run: c1, then c2 from c1's final state.
+    split_memory = memory.copy()
+    split_env = environment.clone()
+    mitigation = MitigationState()
+    r1 = execute(
+        c1, split_memory, split_env,
+        layout=layout, mitigation=mitigation, max_steps=max_steps,
+    )
+    r2 = execute(
+        c2, split_memory, split_env,
+        layout=layout, mitigation=mitigation, max_steps=max_steps,
+    )
+
+    whole = execute(
+        composed, memory.copy(), environment.clone(),
+        layout=layout, mitigation=MitigationState(), max_steps=max_steps,
+    )
+
+    if whole.time != r1.time + r2.time:
+        violations.append(
+            "P3-seq: composed time "
+            f"{whole.time} != {r1.time} + {r2.time}"
+        )
+    if whole.memory != split_memory:
+        violations.append("P3-seq: composed and split final memories differ")
+    if whole.environment.full_state() != split_env.full_state():
+        violations.append(
+            "P3-seq: composed and split final environments differ"
+        )
+    split_events = list(r1.events) + [
+        type(e)(e.name, e.value, e.time + r1.time, e.index) for e in r2.events
+    ]
+    if list(whole.events) != split_events:
+        violations.append("P3-seq: composed and split event traces differ")
+    return violations
+
+
+def check_sleep_accuracy(
+    durations,
+    environment: MachineEnvironment,
+    read_label=None,
+    write_label=None,
+) -> List[str]:
+    """Property 4: ``sleep n`` takes exactly ``max(n, 0)`` cycles."""
+    violations = []
+    lattice = environment.lattice
+    read_label = read_label if read_label is not None else lattice.bottom
+    write_label = write_label if write_label is not None else lattice.top
+    for n in durations:
+        program = ast.Sleep(
+            duration=ast.IntLit(n),
+            read_label=read_label,
+            write_label=write_label,
+        )
+        memory = Memory({})
+        result = execute(program, memory, environment.clone())
+        expected = max(n, 0)
+        if result.time != expected:
+            violations.append(
+                f"P4-sleep: sleep({n}) took {result.time} cycles, "
+                f"expected exactly {expected}"
+            )
+    return violations

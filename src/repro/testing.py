@@ -1,0 +1,285 @@
+"""Random program generation for property-based testing.
+
+Theorem 1 (noninterference) and the faithfulness properties are universally
+quantified over programs; the property tests approximate that quantifier
+with seeded random program families.  Two constraints shape the generator:
+
+* **termination** -- every ``while`` loop is generated in the bounded shape
+  ``while v > 0 do { ...; v := v - 1 }`` where the body never otherwise
+  writes ``v``, so all generated programs terminate;
+* **typability** -- the generator tracks the typing state (pc and the
+  timing start-label) the same way the checker does and only emits
+  assignments the Fig. 4 rules allow, so almost every generated program is
+  well-typed by construction (the tests still run the real checker and
+  discard the rare miss, e.g. when a loop-body join defeats the tracker).
+
+Generated programs use scalars only: array addresses are value-dependent and
+the hardware contract is stated over equal traces (see
+:mod:`repro.hardware.contract`), so scalar programs are the right family for
+end-to-end noninterference runs.  Array behaviour is covered by dedicated
+tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .lang import ast
+from .lattice import Label, Lattice
+from .machine.memory import Memory
+from .typesystem.environment import SecurityEnvironment
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the random program generator."""
+
+    max_depth: int = 3
+    max_block_length: int = 4
+    max_literal: int = 8
+    max_loop_counter: int = 3
+    allow_sleep: bool = True
+    allow_mitigate: bool = True
+    #: Probability weights for command kinds at each draw.
+    weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "assign": 0.40,
+            "skip": 0.10,
+            "sleep": 0.10,
+            "if": 0.20,
+            "while": 0.10,
+            "mitigate": 0.10,
+        }
+    )
+
+
+class ProgramGenerator:
+    """Generates terminating, (almost always) well-typed scalar programs."""
+
+    def __init__(
+        self,
+        gamma: SecurityEnvironment,
+        rng: random.Random,
+        config: Optional[GeneratorConfig] = None,
+    ):
+        self.gamma = gamma
+        self.lattice: Lattice = gamma.lattice
+        self.rng = rng
+        self.config = config if config is not None else GeneratorConfig()
+        self.scalars = sorted(gamma)
+        self._loop_counter_seq = 0
+
+    # -- expressions -----------------------------------------------------------
+
+    def expr(self, max_label: Optional[Label] = None, depth: int = 2) -> ast.Expr:
+        """A random expression over variables at or below ``max_label``."""
+        choices = ["lit"]
+        usable = [
+            name
+            for name in self.scalars
+            if max_label is None or self.gamma[name].flows_to(max_label)
+        ]
+        if usable:
+            choices.append("var")
+        if depth > 0:
+            choices += ["bin", "bin"]
+        kind = self.rng.choice(choices)
+        if kind == "lit":
+            return ast.IntLit(self.rng.randrange(self.config.max_literal + 1))
+        if kind == "var":
+            return ast.Var(self.rng.choice(usable))
+        op = self.rng.choice(["+", "-", "*", "==", "<", "%"])
+        return ast.BinOp(
+            op=op,
+            left=self.expr(max_label, depth - 1),
+            right=self.expr(max_label, depth - 1),
+        )
+
+    # -- commands -----------------------------------------------------------------
+
+    def program(self) -> ast.Command:
+        """A whole random program (labels unannotated; run inference)."""
+        cmd, _ = self._block(
+            pc=self.lattice.bottom,
+            taint=self.lattice.bottom,
+            depth=self.config.max_depth,
+            writable_cap=None,
+            frozen=frozenset(),
+        )
+        return cmd
+
+    def _writable(self, pc: Label, taint: Label, cap: Optional[Label],
+                  frozen: frozenset):
+        """Variables assignable under the tracked typing state.  Loop
+        counters of enclosing loops are frozen so termination is assured."""
+        need = self.lattice.join(pc, taint)
+        out = []
+        for name in self.scalars:
+            if name in frozen:
+                continue
+            label = self.gamma[name]
+            if not need.flows_to(label):
+                continue
+            if cap is not None and not label.flows_to(cap):
+                continue
+            out.append(name)
+        return out
+
+    def _block(
+        self,
+        pc: Label,
+        taint: Label,
+        depth: int,
+        writable_cap: Optional[Label],
+        frozen: frozenset,
+    ) -> Tuple[ast.Command, Label]:
+        length = self.rng.randrange(1, self.config.max_block_length + 1)
+        parts: List[ast.Command] = []
+        for _ in range(length):
+            cmd, taint = self._command(pc, taint, depth, writable_cap, frozen)
+            parts.append(cmd)
+        return ast.seq(*parts), taint
+
+    def _command(
+        self,
+        pc: Label,
+        taint: Label,
+        depth: int,
+        writable_cap: Optional[Label],
+        frozen: frozenset,
+    ) -> Tuple[ast.Command, Label]:
+        cfg = self.config
+        weights = dict(cfg.weights)
+        if depth <= 0:
+            weights["if"] = weights["while"] = weights["mitigate"] = 0.0
+        if not cfg.allow_sleep:
+            weights["sleep"] = 0.0
+        if not cfg.allow_mitigate:
+            weights["mitigate"] = 0.0
+        writable = self._writable(pc, taint, writable_cap, frozen)
+        if not writable:
+            weights["assign"] = 0.0
+            weights["while"] = 0.0
+        kinds = [k for k, w in weights.items() if w > 0]
+        kind = self.rng.choices(
+            kinds, [weights[k] for k in kinds], k=1
+        )[0]
+
+        if kind == "skip":
+            return ast.Skip(), taint
+        if kind == "sleep":
+            # Sleep raises the timing label by the duration's label; keep
+            # the duration under the cap so loops stay typeable.
+            bound = writable_cap
+            duration = self.expr(bound)
+            new_taint = self.lattice.join(
+                taint, self.gamma.label_of_expr(duration)
+            )
+            return ast.Sleep(duration=duration), new_taint
+        if kind == "assign":
+            target = self.rng.choice(writable)
+            target_label = self.gamma[target]
+            value = self.expr(target_label)
+            return (
+                ast.Assign(target=target, expr=value),
+                target_label,  # T-ASGN: end label is Gamma(x)
+            )
+        if kind == "if":
+            guard_cap = writable_cap
+            guard = self.expr(guard_cap)
+            guard_label = self.gamma.label_of_expr(guard)
+            inner_pc = self.lattice.join(pc, guard_label)
+            inner_taint = self.lattice.join(taint, guard_label)
+            then_branch, t1 = self._block(
+                inner_pc, inner_taint, depth - 1, writable_cap, frozen
+            )
+            else_branch, t2 = self._block(
+                inner_pc, inner_taint, depth - 1, writable_cap, frozen
+            )
+            return (
+                ast.If(
+                    cond=guard,
+                    then_branch=then_branch,
+                    else_branch=else_branch,
+                ),
+                self.lattice.join(t1, t2),
+            )
+        if kind == "while":
+            counter = self.rng.choice(writable)
+            counter_label = self.gamma[counter]
+            inner_pc = self.lattice.join(pc, counter_label)
+            # Everything in the body stays at or below the counter's label
+            # so the loop's timing fixpoint is the counter label itself.
+            body, _ = self._block(
+                inner_pc,
+                self.lattice.join(taint, counter_label),
+                depth - 1,
+                counter_label,
+                frozen | {counter},
+            )
+            decrement = ast.Assign(
+                target=counter,
+                expr=ast.BinOp(
+                    op="-", left=ast.Var(counter), right=ast.IntLit(1)
+                ),
+            )
+            loop = ast.While(
+                cond=ast.BinOp(
+                    op=">", left=ast.Var(counter), right=ast.IntLit(0)
+                ),
+                body=ast.seq(body, decrement),
+            )
+            init = ast.Assign(
+                target=counter,
+                expr=ast.IntLit(
+                    self.rng.randrange(cfg.max_loop_counter + 1)
+                ),
+            )
+            # The init writes the counter, which needs pc|taint <= label;
+            # guaranteed because counter is drawn from writable.
+            return ast.seq(init, loop), counter_label
+        if kind == "mitigate":
+            body, _ = self._block(pc, taint, depth - 1, writable_cap, frozen)
+            budget = ast.IntLit(1 + self.rng.randrange(16))
+            # Top always bounds the body's end label, so the command
+            # typechecks regardless of what the body did.
+            return (
+                ast.Mitigate(
+                    budget=budget, level=self.lattice.top, body=body
+                ),
+                taint,
+            )
+        raise AssertionError(f"unknown kind {kind}")  # pragma: no cover
+
+    # -- memories ----------------------------------------------------------------
+
+    def memory(self) -> Memory:
+        """A random memory binding every Gamma name to a small value."""
+        return Memory(
+            {
+                name: self.rng.randrange(self.config.max_literal + 1)
+                for name in self.scalars
+            }
+        )
+
+    def memory_pair(self, level: Label) -> Tuple[Memory, Memory]:
+        """Two memories equal at and below ``level``, random elsewhere."""
+        base = self.memory()
+        other = base.copy()
+        for name in self.scalars:
+            if not self.gamma[name].flows_to(level):
+                other.write(name, self.rng.randrange(self.config.max_literal + 1))
+        return base, other
+
+
+def standard_gamma(lattice: Lattice, per_level: int = 2) -> SecurityEnvironment:
+    """A Gamma with ``per_level`` scalars at every lattice level, named
+    ``<level>0``, ``<level>1``, ... (lowercased)."""
+    bindings = {}
+    for level in lattice.levels():
+        stem = "".join(ch for ch in level.name.lower() if ch.isalnum()) or "v"
+        for i in range(per_level):
+            bindings[f"{stem}{i}"] = level
+    return SecurityEnvironment(lattice, bindings)

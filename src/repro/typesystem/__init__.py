@@ -1,0 +1,29 @@
+"""The security type system: checking, label inference, and environments."""
+
+from .environment import SecurityEnvironment, UnboundVariable
+from .errors import MissingLabel, TypingError
+from .inference import infer_labels
+from .suggest import (
+    Placement,
+    UnmitigatableError,
+    auto_mitigate,
+    suggest_mitigations,
+)
+from .typing import NodeContext, TypeChecker, TypingInfo, is_well_typed, typecheck
+
+__all__ = [
+    "MissingLabel",
+    "NodeContext",
+    "Placement",
+    "SecurityEnvironment",
+    "TypeChecker",
+    "TypingError",
+    "TypingInfo",
+    "UnboundVariable",
+    "UnmitigatableError",
+    "auto_mitigate",
+    "infer_labels",
+    "is_well_typed",
+    "suggest_mitigations",
+    "typecheck",
+]

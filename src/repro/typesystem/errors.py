@@ -1,0 +1,34 @@
+"""Typing errors with enough context to locate and explain the failure."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang import ast
+
+
+class TypingError(Exception):
+    """A program violates the Fig. 4 type system.
+
+    Carries the offending command (when known) and the rule that failed, so
+    error messages can say *where* a mitigate command is needed -- the type
+    system's practical job is isolating exactly those places (Sec. 5).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        command: Optional[ast.Command] = None,
+        rule: Optional[str] = None,
+    ):
+        self.command = command
+        self.rule = rule
+        prefix = f"[{rule}] " if rule else ""
+        where = ""
+        if isinstance(command, ast.LabeledCommand):
+            where = f" (at {type(command).__name__} node {command.node_id})"
+        super().__init__(f"{prefix}{message}{where}")
+
+
+class MissingLabel(TypingError):
+    """A command reached the checker without read/write labels."""

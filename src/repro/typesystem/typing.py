@@ -1,0 +1,315 @@
+"""The security type system (Fig. 4).
+
+The judgment is ``Gamma, pc, t |- c : t'`` where ``pc`` is the standard
+program-counter label and ``t``/``t'`` are the *timing start- and
+end-labels*: bounds on the level of information that has flowed into timing
+before and after executing ``c``.  Every rule enforces ``t <= t'`` (timing
+dependencies only accumulate) and ``pc <= lw`` (control flow may not imprint
+on machine-environment state below the context -- the hardware-level implicit
+flow of Sec. 2.2).
+
+Rule summary, with ``le`` the guard/expression label and ``lr``/``lw`` the
+command's labels:
+
+* T-SKIP:   ``t' = t join lr``
+* T-ASGN:   ``le join pc join t join lr <= Gamma(x)``; ``t' = Gamma(x)``
+* T-SLEEP:  ``t' = t join le join lr``
+* T-IF:     branches under ``pc join le`` and start label
+  ``le join t join lr``; ``t'`` is the join of the branch end-labels
+* T-WHILE:  a fixpoint: some ``t'`` with ``le join t join lr <= t'`` such
+  that the body types under ``pc join le`` with start *and* end label
+  ``t'`` (we compute the least such ``t'`` by iteration -- the lattice is
+  finite)
+* T-SEQ:    threads ``t`` through
+* T-MTG:    the body types with start ``t join le join lr`` and its
+  end-label must flow to the mitigation level ``l'``; the *command's*
+  end-label is only ``le join t join lr`` -- the mitigated block's timing
+  variation is controlled dynamically, which is the whole point (Sec. 5.1)
+
+Array extension (sound, conservative): an array access's *address* flows
+into cache state at the accessing command's write label, so every
+array-index label inside the command's step-evaluated expressions must flow
+to ``lw``; an ``a[i] := e`` store additionally treats ``i`` like part of the
+assigned expression.
+
+The checker returns a :class:`TypingInfo` carrying the end label, the static
+``pc`` at every ``mitigate`` (needed by the Sec. 6.3 projections), and
+per-node contexts for inspection.  Set ``require_cache_labels=True`` to also
+enforce ``lr = lw`` everywhere, the commodity-hardware side condition of
+Sec. 8.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..lang import ast
+from ..lattice import Label, Lattice
+from .environment import SecurityEnvironment
+from .errors import MissingLabel, TypingError
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """The typing context a labeled command was checked under."""
+
+    pc: Label
+    start: Label
+    end: Label
+
+
+@dataclass
+class TypingInfo:
+    """The result of a successful typing derivation."""
+
+    end_label: Label
+    mitigate_pc: Dict[str, Label] = field(default_factory=dict)
+    mitigate_level: Dict[str, Label] = field(default_factory=dict)
+    node_contexts: Dict[int, NodeContext] = field(default_factory=dict)
+
+    def pc_of(self, mit_id: str) -> Label:
+        """``pc(M_eta)`` for a mitigate command, by id."""
+        return self.mitigate_pc[mit_id]
+
+    def level_of(self, mit_id: str) -> Label:
+        """``lev(M_eta)`` for a mitigate command, by id."""
+        return self.mitigate_level[mit_id]
+
+
+class TypeChecker:
+    """One typing run over a fixed Gamma."""
+
+    def __init__(
+        self,
+        gamma: SecurityEnvironment,
+        require_cache_labels: bool = False,
+    ):
+        self.gamma = gamma
+        self.lattice: Lattice = gamma.lattice
+        self.require_cache_labels = require_cache_labels
+        self.info: Optional[TypingInfo] = None
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _labels(self, cmd: ast.LabeledCommand) -> Tuple[Label, Label]:
+        if cmd.read_label is None or cmd.write_label is None:
+            raise MissingLabel(
+                "command has no read/write labels; annotate it or run "
+                "label inference first",
+                cmd,
+            )
+        return cmd.read_label, cmd.write_label
+
+    def _common_checks(
+        self, cmd: ast.LabeledCommand, pc: Label, rule: str
+    ) -> Tuple[Label, Label]:
+        lr, lw = self._labels(cmd)
+        if not pc.flows_to(lw):
+            raise TypingError(
+                f"pc = {pc} must flow to the write label {lw}: a command in "
+                "this context would imprint confidential control flow on "
+                f"{lw}-and-below machine-environment state",
+                cmd,
+                rule,
+            )
+        if self.require_cache_labels and lr != lw:
+            raise TypingError(
+                f"commodity hardware requires lr = lw, got [{lr},{lw}]",
+                cmd,
+                rule,
+            )
+        return lr, lw
+
+    def _check_index_labels(
+        self, cmd: ast.LabeledCommand, lw: Label, rule: str, *exprs: ast.Expr
+    ) -> None:
+        """Array addresses flow into lw-level cache state; index labels must
+        flow to lw."""
+        for expr in exprs:
+            for label in self.gamma.array_index_labels(expr):
+                if not label.flows_to(lw):
+                    raise TypingError(
+                        f"array index at label {label} does not flow to the "
+                        f"write label {lw}; the element's address would leak "
+                        "into lower cache state",
+                        cmd,
+                        rule,
+                    )
+
+    # -- the judgment ---------------------------------------------------------
+
+    def check(self, cmd: ast.Command, pc: Label, start: Label) -> Label:
+        """``Gamma, pc, start |- cmd : <returned end label>``."""
+        join = self.lattice.join
+
+        if isinstance(cmd, ast.Seq):
+            mid = self.check(cmd.first, pc, start)
+            return self.check(cmd.second, pc, mid)
+
+        assert isinstance(cmd, ast.LabeledCommand)
+
+        if isinstance(cmd, ast.Skip):
+            lr, _lw = self._common_checks(cmd, pc, "T-SKIP")
+            end = join(start, lr)
+            self._record(cmd, pc, start, end)
+            return end
+
+        if isinstance(cmd, ast.Assign):
+            lr, lw = self._common_checks(cmd, pc, "T-ASGN")
+            self._check_index_labels(cmd, lw, "T-ASGN", cmd.expr)
+            le = self.gamma.label_of_expr(cmd.expr)
+            target = self.gamma[cmd.target]
+            sources = join(le, pc, start, lr)
+            if not sources.flows_to(target):
+                raise TypingError(
+                    f"assignment to {cmd.target} at {target}: sources "
+                    f"(value {le}, pc {pc}, timing {start}, read label {lr}) "
+                    f"join to {sources}, which does not flow to {target}"
+                    + self._hint(start, target),
+                    cmd,
+                    "T-ASGN",
+                )
+            self._record(cmd, pc, start, target)
+            return target
+
+        if isinstance(cmd, ast.ArrayAssign):
+            lr, lw = self._common_checks(cmd, pc, "T-ASGN")
+            self._check_index_labels(
+                cmd, lw, "T-ASGN", cmd.index, cmd.expr
+            )
+            index_label = self.gamma.label_of_expr(cmd.index)
+            if not index_label.flows_to(lw):
+                raise TypingError(
+                    f"array store index at {index_label} does not flow to "
+                    f"the write label {lw}",
+                    cmd,
+                    "T-ASGN",
+                )
+            le = join(self.gamma.label_of_expr(cmd.expr), index_label)
+            target = self.gamma[cmd.array]
+            sources = join(le, pc, start, lr)
+            if not sources.flows_to(target):
+                raise TypingError(
+                    f"store to {cmd.array} at {target}: sources join to "
+                    f"{sources}, which does not flow to {target}"
+                    + self._hint(start, target),
+                    cmd,
+                    "T-ASGN",
+                )
+            self._record(cmd, pc, start, target)
+            return target
+
+        if isinstance(cmd, ast.Sleep):
+            lr, _lw = self._common_checks(cmd, pc, "T-SLEEP")
+            self._check_index_labels(cmd, _lw, "T-SLEEP", cmd.duration)
+            le = self.gamma.label_of_expr(cmd.duration)
+            end = join(start, le, lr)
+            self._record(cmd, pc, start, end)
+            return end
+
+        if isinstance(cmd, ast.If):
+            lr, lw = self._common_checks(cmd, pc, "T-IF")
+            self._check_index_labels(cmd, lw, "T-IF", cmd.cond)
+            le = self.gamma.label_of_expr(cmd.cond)
+            inner_pc = join(le, pc)
+            inner_start = join(le, start, lr)
+            end1 = self.check(cmd.then_branch, inner_pc, inner_start)
+            end2 = self.check(cmd.else_branch, inner_pc, inner_start)
+            end = join(end1, end2)
+            self._record(cmd, pc, start, end)
+            return end
+
+        if isinstance(cmd, ast.While):
+            lr, lw = self._common_checks(cmd, pc, "T-WHILE")
+            self._check_index_labels(cmd, lw, "T-WHILE", cmd.cond)
+            le = self.gamma.label_of_expr(cmd.cond)
+            inner_pc = join(le, pc)
+            # Least fixpoint of t' = le|start|lr |_| end(body under t').
+            # Monotone on a finite lattice, so iteration terminates.
+            t_prime = join(le, start, lr)
+            while True:
+                body_end = self.check(cmd.body, inner_pc, t_prime)
+                widened = join(t_prime, body_end)
+                if widened == t_prime:
+                    break
+                t_prime = widened
+            self._record(cmd, pc, start, t_prime)
+            return t_prime
+
+        if isinstance(cmd, ast.Mitigate):
+            lr, lw = self._common_checks(cmd, pc, "T-MTG")
+            self._check_index_labels(cmd, lw, "T-MTG", cmd.budget)
+            le = self.gamma.label_of_expr(cmd.budget)
+            body_start = join(start, le, lr)
+            body_end = self.check(cmd.body, pc, body_start)
+            if not body_end.flows_to(cmd.level):
+                raise TypingError(
+                    f"mitigate level {cmd.level} does not bound the body's "
+                    f"timing end-label {body_end}; raise the level or "
+                    "mitigate the offending subcommand",
+                    cmd,
+                    "T-MTG",
+                )
+            self.info.mitigate_pc[cmd.mit_id] = pc
+            self.info.mitigate_level[cmd.mit_id] = cmd.level
+            end = join(le, start, lr)
+            self._record(cmd, pc, start, end)
+            return end
+
+        raise TypeError(f"not a command: {cmd!r}")
+
+    def _hint(self, start: Label, target: Label) -> str:
+        if not start.flows_to(target):
+            return (
+                "; the timing start-label carries confidential timing into "
+                "this public update -- wrap the timing-variable code in a "
+                "mitigate command"
+            )
+        return ""
+
+    def _record(
+        self, cmd: ast.LabeledCommand, pc: Label, start: Label, end: Label
+    ) -> None:
+        self.info.node_contexts[cmd.node_id] = NodeContext(pc, start, end)
+
+    # -- entry point --------------------------------------------------------------
+
+    def run(
+        self,
+        program: ast.Command,
+        pc: Optional[Label] = None,
+        start: Optional[Label] = None,
+    ) -> TypingInfo:
+        """Check a whole program (defaults: bottom pc and start label)."""
+        self.info = TypingInfo(end_label=self.lattice.bottom)
+        pc = pc if pc is not None else self.lattice.bottom
+        start = start if start is not None else self.lattice.bottom
+        self.info.end_label = self.check(program, pc, start)
+        return self.info
+
+
+def typecheck(
+    program: ast.Command,
+    gamma: SecurityEnvironment,
+    pc: Optional[Label] = None,
+    start: Optional[Label] = None,
+    require_cache_labels: bool = False,
+) -> TypingInfo:
+    """Check ``Gamma, pc, start |- program : t'`` and return the derivation
+    facts.  Raises :class:`TypingError` when the program is ill-typed."""
+    checker = TypeChecker(gamma, require_cache_labels=require_cache_labels)
+    return checker.run(program, pc, start)
+
+
+def is_well_typed(
+    program: ast.Command,
+    gamma: SecurityEnvironment,
+    require_cache_labels: bool = False,
+) -> bool:
+    """Does the program typecheck under the default (bottom, bottom) context?"""
+    try:
+        typecheck(program, gamma, require_cache_labels=require_cache_labels)
+        return True
+    except TypingError:
+        return False

@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Hypothesis runs derandomized so the suite is reproducible run-to-run (the
+property tests' example corpora are fixed); health checks that object to
+the simulator's per-example cost are relaxed.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

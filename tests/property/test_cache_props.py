@@ -1,0 +1,96 @@
+"""Hypothesis properties of the cache/TLB simulators."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import Cache, CacheParams, Tlb, TlbParams
+
+geometries = st.sampled_from([
+    CacheParams(2, 1, 8, 1),
+    CacheParams(4, 2, 16, 1),
+    CacheParams(8, 4, 32, 1),
+    CacheParams(1, 2, 16, 1),
+])
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=4095), min_size=1, max_size=60
+)
+
+
+@given(geometries, addresses)
+def test_occupancy_never_exceeds_capacity(params, addrs):
+    cache = Cache(params)
+    for a in addrs:
+        cache.touch(a)
+    assert cache.occupancy() <= params.sets * params.ways
+
+
+@given(geometries, addresses)
+def test_most_recent_access_always_resident(params, addrs):
+    cache = Cache(params)
+    for a in addrs:
+        cache.touch(a)
+        assert cache.lookup(a)
+
+
+@given(geometries, addresses)
+def test_touch_returns_lookup(params, addrs):
+    cache = Cache(params)
+    for a in addrs:
+        present = cache.lookup(a)
+        hit = cache.touch(a)
+        assert hit == present
+
+
+@given(geometries, addresses)
+def test_clone_equivalent_and_independent(params, addrs):
+    cache = Cache(params)
+    for a in addrs[: len(addrs) // 2]:
+        cache.touch(a)
+    twin = cache.clone()
+    assert twin.state() == cache.state()
+    for a in addrs[len(addrs) // 2:]:
+        twin.touch(a)
+    # The original must be unaffected by the twin's subsequent traffic.
+    replay = Cache(params)
+    for a in addrs[: len(addrs) // 2]:
+        replay.touch(a)
+    assert cache.state() == replay.state()
+
+
+@given(geometries, addresses)
+def test_state_determines_behaviour(params, addrs):
+    c1, c2 = Cache(params), Cache(params)
+    for a in addrs:
+        c1.touch(a)
+        c2.touch(a)
+    assert c1.state() == c2.state()
+    probe = addrs[0] + 8192
+    assert c1.touch(probe) == c2.touch(probe)
+    assert c1.state() == c2.state()
+
+
+@given(geometries, addresses)
+def test_evict_is_precise(params, addrs):
+    cache = Cache(params)
+    for a in addrs:
+        cache.touch(a)
+    target = addrs[-1]
+    cache.evict(target)
+    assert not cache.lookup(target)
+    # Evicting never disturbs other sets' contents.
+    block = target // params.block_bytes
+    for a in addrs:
+        if (a // params.block_bytes) % params.sets != block % params.sets:
+            # Different set: unaffected by the eviction.
+            pass  # presence depends on earlier traffic; just must not crash
+    assert cache.occupancy() <= params.sets * params.ways
+
+
+@given(addresses)
+def test_tlb_same_page_shares_entry(addrs):
+    tlb = Tlb(TlbParams(2, 2, 256, 30))
+    for a in addrs:
+        tlb.touch(a)
+        page_base = (a // 256) * 256
+        assert tlb.lookup(page_base)
+        assert tlb.lookup(page_base + 255)

@@ -1,0 +1,118 @@
+"""Hypothesis properties: lattice laws on the builtin lattices."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lattice import chain, diamond, powerset, two_point
+
+LATTICES = [
+    two_point(),
+    chain(("L", "M", "H")),
+    chain(("a", "b", "c", "d", "e")),
+    diamond(),
+    powerset(["p", "q", "r"]),
+]
+
+lattice_st = st.sampled_from(LATTICES)
+
+
+@st.composite
+def lattice_and_labels(draw, n=2):
+    lat = draw(lattice_st)
+    labels = [draw(st.sampled_from(lat.levels())) for _ in range(n)]
+    return (lat, *labels)
+
+
+@given(lattice_and_labels(2))
+def test_join_is_upper_bound(args):
+    lat, a, b = args
+    j = lat.join(a, b)
+    assert lat.leq(a, j) and lat.leq(b, j)
+
+
+@given(lattice_and_labels(2))
+def test_meet_is_lower_bound(args):
+    lat, a, b = args
+    m = lat.meet(a, b)
+    assert lat.leq(m, a) and lat.leq(m, b)
+
+
+@given(lattice_and_labels(3))
+def test_join_least(args):
+    lat, a, b, c = args
+    if lat.leq(a, c) and lat.leq(b, c):
+        assert lat.leq(lat.join(a, b), c)
+
+
+@given(lattice_and_labels(3))
+def test_meet_greatest(args):
+    lat, a, b, c = args
+    if lat.leq(c, a) and lat.leq(c, b):
+        assert lat.leq(c, lat.meet(a, b))
+
+
+@given(lattice_and_labels(2))
+def test_commutativity(args):
+    lat, a, b = args
+    assert lat.join(a, b) == lat.join(b, a)
+    assert lat.meet(a, b) == lat.meet(b, a)
+
+
+@given(lattice_and_labels(3))
+def test_associativity(args):
+    lat, a, b, c = args
+    assert lat.join(lat.join(a, b), c) == lat.join(a, lat.join(b, c))
+    assert lat.meet(lat.meet(a, b), c) == lat.meet(a, lat.meet(b, c))
+
+
+@given(lattice_and_labels(2))
+def test_absorption(args):
+    lat, a, b = args
+    assert lat.join(a, lat.meet(a, b)) == a
+    assert lat.meet(a, lat.join(a, b)) == a
+
+
+@given(lattice_and_labels(1))
+def test_idempotence_and_bounds(args):
+    lat, a = args
+    assert lat.join(a, a) == a
+    assert lat.meet(a, a) == a
+    assert lat.leq(lat.bottom, a)
+    assert lat.leq(a, lat.top)
+
+
+@given(lattice_and_labels(3))
+def test_transitivity(args):
+    lat, a, b, c = args
+    if lat.leq(a, b) and lat.leq(b, c):
+        assert lat.leq(a, c)
+
+
+@given(lattice_and_labels(2))
+def test_antisymmetry(args):
+    lat, a, b = args
+    if lat.leq(a, b) and lat.leq(b, a):
+        assert a == b
+
+
+@given(lattice_and_labels(1), st.data())
+def test_upward_closure_is_closed(args, data):
+    lat, a = args
+    subset = data.draw(
+        st.sets(st.sampled_from(lat.levels()), max_size=len(lat))
+    )
+    closure = lat.upward_closure(subset)
+    for level in closure:
+        for above in lat.levels():
+            if lat.leq(level, above):
+                assert above in closure
+
+
+@given(lattice_and_labels(1), st.data())
+def test_exclude_observable_correct(args, data):
+    lat, adversary = args
+    subset = data.draw(
+        st.sets(st.sampled_from(lat.levels()), max_size=len(lat))
+    )
+    excluded = lat.exclude_observable(subset, adversary)
+    assert all(not lat.leq(l, adversary) for l in excluded)
+    assert excluded <= frozenset(subset)

@@ -1,0 +1,96 @@
+"""Lemma 1 (low-determinism of mitigate commands) on random programs.
+
+For well-typed programs, the *identity* sequence of low-context mitigate
+commands is the same across all runs from memories that agree outside the
+varied high levels; only durations differ.  The paper uses this to make
+Definition 2's variation sets well-defined; here hypothesis hunts for a
+counterexample across randomly generated mitigate-heavy programs.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import DEFAULT_LATTICE
+from repro.lattice import chain
+from repro.machine.layout import Layout
+from repro.hardware import NullHardware, PartitionedHardware, tiny_machine
+from repro.quantitative import check_low_determinism, timing_variations
+from repro.testing import GeneratorConfig, ProgramGenerator, standard_gamma
+from repro.typesystem import TypingError, infer_labels, typecheck
+
+LAT = DEFAULT_LATTICE
+
+MITIGATE_HEAVY = GeneratorConfig(
+    max_depth=3,
+    max_block_length=3,
+    weights={
+        "assign": 0.30,
+        "skip": 0.05,
+        "sleep": 0.15,
+        "if": 0.15,
+        "while": 0.10,
+        "mitigate": 0.25,
+    },
+)
+
+
+def _generated(lattice, seed):
+    gamma = standard_gamma(lattice)
+    gen = ProgramGenerator(gamma, random.Random(seed), MITIGATE_HEAVY)
+    program = gen.program()
+    infer_labels(program, gamma)
+    try:
+        info = typecheck(program, gamma)
+    except TypingError:
+        return None
+    return program, gamma, info, gen
+
+
+@given(st.integers(min_value=0, max_value=50_000),
+       st.sampled_from(["two", "chain"]))
+@settings(max_examples=40, deadline=None)
+def test_lemma1_low_determinism(seed, lattice_name):
+    lattice = LAT if lattice_name == "two" else chain(("L", "M", "H"))
+    generated = _generated(lattice, seed)
+    if generated is None:
+        return
+    program, gamma, info, gen = generated
+    base = gen.memory()
+    variants = []
+    for k in range(6):
+        variant = base.copy()
+        for name in gamma:
+            if not gamma[name].flows_to(lattice.bottom):
+                variant.write(name, (k * 7 + hash(name)) % 8)
+        variants.append(variant)
+    violations = check_low_determinism(
+        program, lattice, [lattice.top], lattice.bottom, base,
+        NullHardware(lattice), variants, mitigate_pc=info.mitigate_pc,
+    )
+    assert violations == [], violations
+
+
+@given(st.integers(min_value=0, max_value=50_000))
+@settings(max_examples=25, deadline=None)
+def test_theorem2_on_random_mitigated_programs(seed):
+    generated = _generated(LAT, seed)
+    if generated is None:
+        return
+    program, gamma, info, gen = generated
+    base = gen.memory()
+    variants = []
+    for k in range(8):
+        variant = base.copy()
+        for name in gamma:
+            if not gamma[name].flows_to(LAT["L"]):
+                variant.write(name, (k * 3 + len(name)) % 6)
+        variants.append(variant)
+    from repro.quantitative import verify_theorem2
+
+    result = verify_theorem2(
+        program, gamma, LAT, [LAT["H"]], LAT["L"], base,
+        PartitionedHardware(LAT, tiny_machine()), variants,
+        mitigate_pc=info.mitigate_pc,
+    )
+    assert result.holds, str(result)

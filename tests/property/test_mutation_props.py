@@ -1,0 +1,116 @@
+"""Mutation testing of the type checker: weakenings must be caught.
+
+A checker that accepts everything passes all positive tests; these
+properties attack from the other side, mutating well-typed programs into
+insecure ones and requiring a rejection:
+
+* lowering the *write label* of a command in a high context below its pc
+  reintroduces the Sec. 2.2 hardware implicit flow;
+* lowering a high-context assignment *target's* Gamma label reintroduces a
+  classic implicit flow;
+* appending a public assignment after high-timing code reintroduces the
+  direct channel.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import DEFAULT_LATTICE, ast, labeled_commands
+from repro.testing import GeneratorConfig, ProgramGenerator, standard_gamma
+from repro.typesystem import (
+    SecurityEnvironment,
+    TypingError,
+    infer_labels,
+    is_well_typed,
+    typecheck,
+)
+
+LAT = DEFAULT_LATTICE
+GAMMA = standard_gamma(LAT)
+
+
+def _welltyped(seed, **cfg):
+    gen = ProgramGenerator(
+        GAMMA, random.Random(seed),
+        GeneratorConfig(max_depth=2, max_block_length=3, **cfg),
+    )
+    program = gen.program()
+    infer_labels(program, GAMMA)
+    info = typecheck(program, GAMMA)
+    return program, info
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=60, deadline=None)
+def test_lowering_write_label_in_high_context_rejected(seed):
+    program, info = _welltyped(seed)
+    mutated = False
+    for cmd in labeled_commands(program):
+        ctx = info.node_contexts.get(cmd.node_id)
+        if ctx is None:
+            continue
+        if ctx.pc != LAT["L"] and cmd.write_label == ctx.pc:
+            cmd.write_label = LAT["L"]  # the Sec. 2.2 insecurity
+            mutated = True
+            break
+    if not mutated:
+        return  # no high-context command in this sample
+    assert not is_well_typed(program, GAMMA)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=60, deadline=None)
+def test_public_suffix_after_high_timing_rejected(seed):
+    program, info = _welltyped(seed)
+    if info.end_label == LAT["L"]:
+        return  # the program's timing stayed public
+    leaky = ast.seq(program, ast.Assign(
+        target="l0", expr=ast.IntLit(1),
+        read_label=LAT["L"], write_label=LAT["L"],
+    ))
+    assert not is_well_typed(leaky, GAMMA)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=60, deadline=None)
+def test_retargeting_high_assignment_to_public_rejected(seed):
+    program, info = _welltyped(seed)
+    for cmd in labeled_commands(program):
+        ctx = info.node_contexts.get(cmd.node_id)
+        if ctx is None or not isinstance(cmd, ast.Assign):
+            continue
+        if ctx.pc != LAT["L"]:
+            # Re-aim a high-context assignment at a public variable.
+            cmd.target = "l0"
+            assert not is_well_typed(program, GAMMA)
+            return
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_raising_mitigation_level_keeps_typability(seed):
+    # The benign mutation direction: raising a mitigate's level can never
+    # break a well-typed program (level only appears as an upper bound).
+    program, _ = _welltyped(seed)
+    for cmd in labeled_commands(program):
+        if isinstance(cmd, ast.Mitigate):
+            cmd.level = LAT.top
+    assert is_well_typed(program, GAMMA)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_raising_write_labels_above_pc_keeps_pc_condition(seed):
+    # Raising write labels preserves pc <= lw, but may break T-ASGN's
+    # lr-into-target condition only via lr -- which we keep.  So raising
+    # lw alone never *introduces* a pc violation.
+    program, info = _welltyped(seed)
+    for cmd in labeled_commands(program):
+        cmd.write_label = LAT.top
+    try:
+        typecheck(program, GAMMA)
+    except TypingError as err:
+        # Permitted failures exist only if the hardware side condition is
+        # requested; with plain typecheck, raising lw is always safe.
+        raise AssertionError(f"raising lw broke typability: {err}")

@@ -1,0 +1,94 @@
+"""Hypothesis properties: pretty-printer / parser round trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import DEFAULT_LATTICE, ast, ast_equal, parse, parse_expr
+from repro.lang.pretty import pretty, pretty_expr
+
+LAT = DEFAULT_LATTICE
+
+names = st.sampled_from(["x", "y", "z", "foo", "a1", "count"])
+array_names = st.sampled_from(["arr", "buf", "table"])
+labels = st.one_of(st.none(), st.sampled_from(list(LAT.levels())))
+
+
+def exprs(depth=3):
+    base = st.one_of(
+        st.integers(min_value=0, max_value=1000).map(ast.IntLit),
+        names.map(ast.Var),
+    )
+    if depth == 0:
+        return base
+
+    sub = exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(
+            lambda op, l, r: ast.BinOp(op=op, left=l, right=r),
+            st.sampled_from(ast.BINARY_OPS),
+            sub,
+            sub,
+        ),
+        st.builds(
+            lambda op, e: ast.UnOp(op=op, operand=e),
+            st.sampled_from(ast.UNARY_OPS),
+            sub,
+        ),
+        st.builds(
+            lambda a, i: ast.ArrayRead(array=a, index=i), array_names, sub
+        ),
+    )
+
+
+def commands(depth=2):
+    simple = st.one_of(
+        st.builds(lambda r, w: ast.Skip(read_label=r, write_label=w),
+                  labels, labels),
+        st.builds(
+            lambda t, e, r, w: ast.Assign(
+                target=t, expr=e, read_label=r, write_label=w
+            ),
+            names, exprs(2), labels, labels,
+        ),
+        st.builds(
+            lambda a, i, e: ast.ArrayAssign(array=a, index=i, expr=e),
+            array_names, exprs(1), exprs(1),
+        ),
+        st.builds(lambda e: ast.Sleep(duration=e), exprs(2)),
+    )
+    if depth == 0:
+        return simple
+    sub = commands(depth - 1)
+    seq = st.builds(lambda a, b: ast.Seq(first=a, second=b), sub, sub)
+    compound = st.one_of(
+        st.builds(
+            lambda c, t, e: ast.If(cond=c, then_branch=t, else_branch=e),
+            exprs(1), sub, sub,
+        ),
+        st.builds(lambda c, b: ast.While(cond=c, body=b), exprs(1), sub),
+        st.builds(
+            lambda e, b: ast.Mitigate(budget=e, level=LAT["H"], body=b),
+            exprs(1), sub,
+        ),
+    )
+    return st.one_of(simple, seq, compound)
+
+
+@given(exprs())
+@settings(max_examples=200)
+def test_expr_roundtrip(expr):
+    assert ast_equal(parse_expr(pretty_expr(expr)), expr)
+
+
+@given(commands())
+@settings(max_examples=200)
+def test_command_roundtrip(cmd):
+    assert ast_equal(parse(pretty(cmd)), cmd)
+
+
+@given(commands())
+@settings(max_examples=50)
+def test_pretty_is_stable(cmd):
+    once = pretty(cmd)
+    twice = pretty(parse(once))
+    assert once == twice

@@ -1,0 +1,145 @@
+"""Hypothesis properties of the mitigation runtime and leakage measures."""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import api
+from repro.lang import DEFAULT_LATTICE
+from repro.machine import Memory
+from repro.hardware import NullHardware
+from repro.quantitative import (
+    leakage_bound,
+    measure_leakage,
+    min_entropy_leakage,
+    secret_variants,
+    shannon_leakage,
+    timing_variations,
+)
+from repro.semantics import DoublingScheme, MitigationState, PolynomialScheme
+
+LAT = DEFAULT_LATTICE
+L, H = LAT["L"], LAT["H"]
+
+
+# --- mitigation state properties -------------------------------------------
+
+estimates = st.integers(min_value=0, max_value=1 << 16)
+elapsed_times = st.integers(min_value=0, max_value=1 << 20)
+schemes = st.sampled_from(
+    [DoublingScheme(), PolynomialScheme(1), PolynomialScheme(3)]
+)
+
+
+@given(schemes, estimates, elapsed_times)
+@settings(deadline=None)
+def test_settle_exceeds_elapsed(scheme, estimate, elapsed):
+    state = MitigationState(scheme=scheme)
+    total = state.settle(estimate, H, elapsed)
+    assert total > elapsed  # the padded duration strictly covers the body
+
+
+@given(schemes, estimates, st.lists(elapsed_times, min_size=1, max_size=8))
+@settings(deadline=None)
+def test_miss_counter_monotone(scheme, estimate, sequence):
+    state = MitigationState(scheme=scheme)
+    last = 0
+    for elapsed in sequence:
+        state.settle(estimate, H, elapsed)
+        assert state.misses(H) >= last
+        last = state.misses(H)
+
+
+@given(estimates, elapsed_times)
+@settings(deadline=None)
+def test_doubling_duration_is_estimate_times_power_of_two(estimate, elapsed):
+    state = MitigationState()
+    total = state.settle(estimate, H, elapsed)
+    base = max(estimate, 1)
+    assert total % base == 0
+    ratio = total // base
+    assert ratio & (ratio - 1) == 0  # power of two
+
+
+@given(schemes, estimates, elapsed_times)
+@settings(deadline=None)
+def test_settle_idempotent_for_smaller_bodies(scheme, estimate, elapsed):
+    state = MitigationState(scheme=scheme)
+    first = state.settle(estimate, H, elapsed)
+    # Any later body that fits under the prediction keeps it unchanged.
+    again = state.settle(estimate, H, max(first - 1, 0))
+    assert again == first
+
+
+@given(elapsed_times)
+@settings(deadline=None)
+def test_doubling_misses_logarithmic(elapsed):
+    state = MitigationState()
+    state.settle(1, H, elapsed)
+    assert state.misses(H) <= math.log2(elapsed + 1) + 1
+
+
+# --- leakage measurement properties ------------------------------------------
+
+secret_counts = st.integers(min_value=1, max_value=24)
+
+
+def _measure(src, n, check=True):
+    cp = api.compile_program(src, gamma={"h": "H", "l": "L"}, check=check)
+    base = Memory({"h": 0, "l": 0})
+    variants = secret_variants(base, ({"h": v} for v in range(n)))
+    return measure_leakage(
+        cp.program, cp.gamma, LAT, [H], L, base, NullHardware(LAT),
+        variants, mitigate_pc=cp.typing.mitigate_pc,
+    )
+
+
+@given(secret_counts)
+@settings(max_examples=20, deadline=None)
+def test_leakage_bounded_by_log_secret_count(n):
+    result = _measure("sleep(h); l := 1", n, check=False)
+    assert result.bits <= math.log2(n) + 1e-9
+
+
+@given(secret_counts)
+@settings(max_examples=20, deadline=None)
+def test_entropy_measures_bounded_by_count_measure(n):
+    result = _measure("mitigate(2, H) { sleep(h) }; l := 1", n)
+    assert shannon_leakage(result.observations) <= result.bits + 1e-9
+    assert min_entropy_leakage(result.observations) <= result.bits + 1e-9
+
+
+@given(st.integers(min_value=2, max_value=24))
+@settings(max_examples=15, deadline=None)
+def test_more_variants_never_decrease_leakage(n):
+    small = _measure("mitigate(2, H) { sleep(h) }; l := 1", n)
+    large = _measure("mitigate(2, H) { sleep(h) }; l := 1", n + 8)
+    assert large.distinguishable >= small.distinguishable
+
+
+@given(st.integers(min_value=2, max_value=20))
+@settings(max_examples=15, deadline=None)
+def test_theorem2_pointwise_on_random_sizes(n):
+    cp = api.compile_program("mitigate(2, H) { sleep(h) }; l := 1",
+                             gamma={"h": "H", "l": "L"})
+    base = Memory({"h": 0, "l": 0})
+    variants = secret_variants(base, ({"h": v} for v in range(n)))
+    q = measure_leakage(
+        cp.program, cp.gamma, LAT, [H], L, base, NullHardware(LAT),
+        variants, mitigate_pc=cp.typing.mitigate_pc,
+    )
+    v = timing_variations(
+        cp.program, LAT, [H], L, base, NullHardware(LAT), variants,
+        mitigate_pc=cp.typing.mitigate_pc,
+    )
+    assert q.bits <= v.bits + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=30),
+       st.integers(min_value=2, max_value=1 << 20))
+@settings(deadline=None)
+def test_bound_monotone(k, t):
+    b1 = leakage_bound(LAT, [H], L, t, k)
+    b2 = leakage_bound(LAT, [H], L, t * 2, k)
+    b3 = leakage_bound(LAT, [H], L, t, k + 1)
+    assert b1 <= b2 and b1 <= b3

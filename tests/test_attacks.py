@@ -1,0 +1,154 @@
+"""Unit tests for the adversary toolkit."""
+
+import pytest
+
+from repro.lang import DEFAULT_LATTICE
+from repro.machine import AccessTrace
+from repro.hardware import (
+    NoFillHardware,
+    PartitionedHardware,
+    StandardHardware,
+    StepKind,
+    tiny_machine,
+)
+from repro.attacks import (
+    chance_accuracy,
+    distinguishable,
+    eviction_set,
+    fit_weight_model,
+    partition_by,
+    pearson_correlation,
+    probe,
+    probe_distinguishes,
+    threshold_classifier,
+    username_probe,
+)
+
+LAT = DEFAULT_LATTICE
+L, H = LAT["L"], LAT["H"]
+DATA = 0x1000_0000
+
+
+class TestDistinguishers:
+    def test_distinguishable(self):
+        assert distinguishable([1, 2], [1, 3])
+        assert not distinguishable([1, 2], [2, 1])
+
+    def test_threshold_perfect_separation(self):
+        r = threshold_classifier([10, 11, 12], [50, 51])
+        assert r.accuracy == 1.0
+        assert 12 < r.threshold < 50
+
+    def test_threshold_orientation(self):
+        r = threshold_classifier([50, 51], [10, 11], "slow", "fast")
+        assert r.accuracy == 1.0
+        assert r.low_class == "fast"
+
+    def test_threshold_overlapping(self):
+        r = threshold_classifier([1, 2, 3, 4], [3, 4, 5, 6])
+        assert 0.5 <= r.accuracy < 1.0
+
+    def test_threshold_identical_distributions(self):
+        r = threshold_classifier([5, 5, 5], [5, 5, 5])
+        assert r.accuracy == 0.5
+        assert not r.separates()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_classifier([], [1])
+
+    def test_chance_accuracy(self):
+        assert chance_accuracy([1] * 9, [2]) == 0.9
+
+    def test_partition_by(self):
+        groups = partition_by([1, 2, 3], ["a", "b", "a"])
+        assert groups == {"a": [1, 3], "b": [2]}
+        with pytest.raises(ValueError):
+            partition_by([1], ["a", "b"])
+
+    def test_username_probe(self):
+        times = [100, 100, 40, 41]
+        validity = [True, True, False, False]
+        r = username_probe(times, validity)
+        assert r.accuracy == 1.0
+        with pytest.raises(ValueError):
+            username_probe([1, 2], [True, True])
+
+    def test_pearson(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson_correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+        assert pearson_correlation([1, 2, 3], [5, 5, 5]) == 0.0
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [2])
+
+
+class TestWeightModel:
+    def test_fit_recovers_line(self):
+        weights = [4, 8, 12, 16]
+        times = [100 + 7 * w for w in weights]
+        model = fit_weight_model(weights, times)
+        assert model.slope == pytest.approx(7.0)
+        assert model.intercept == pytest.approx(100.0)
+        assert model.predict_weight(100 + 7 * 10) == pytest.approx(10.0)
+
+    def test_flat_line_predicts_nan(self):
+        model = fit_weight_model([4, 8], [50, 50])
+        assert model.predict_weight(50) != model.predict_weight(50) or \
+            model.slope == 0.0
+
+    def test_constant_weights(self):
+        model = fit_weight_model([5, 5, 5], [1, 2, 3])
+        assert model.slope == 0.0
+
+
+class TestCacheProbe:
+    def _victim(self, env, secret):
+        # Victim touches DATA when the secret is set; labels [H,H].
+        if secret:
+            env.step(StepKind.ASSIGN,
+                     AccessTrace(instruction=0x400000, reads=(DATA,)),
+                     H, H)
+        return env
+
+    def test_probe_reads_clone(self):
+        env = StandardHardware(LAT, tiny_machine())
+        before = env.full_state()
+        probe(env, [DATA, DATA + 64])
+        assert env.full_state() == before
+
+    def test_probe_distinguishes_on_standard(self):
+        e0 = self._victim(StandardHardware(LAT, tiny_machine()), 0)
+        e1 = self._victim(StandardHardware(LAT, tiny_machine()), 1)
+        assert probe_distinguishes(e0, e1, [DATA])
+
+    @pytest.mark.parametrize("hardware_cls", [NoFillHardware,
+                                              PartitionedHardware])
+    def test_probe_blind_on_secure_designs(self, hardware_cls):
+        e0 = self._victim(hardware_cls(LAT, tiny_machine()), 0)
+        e1 = self._victim(hardware_cls(LAT, tiny_machine()), 1)
+        assert not probe_distinguishes(e0, e1, [DATA, DATA + 64])
+
+    def test_probe_hit_classification(self):
+        env = StandardHardware(LAT, tiny_machine())
+        env.step(StepKind.ASSIGN,
+                 AccessTrace(instruction=0x400000, reads=(DATA,)), L, L)
+        result = probe(env, [DATA, DATA + 4096])
+        hits = result.hits(hit_threshold=min(result.costs))
+        assert hits[0] and not hits[1]
+
+    def test_eviction_set_geometry(self):
+        addresses = eviction_set(0x1000, sets=4, block_bytes=16, ways=2)
+        assert len(addresses) == 3
+        # All in the same set: identical (block mod sets).
+        sets_hit = {(a // 16) % 4 for a in addresses}
+        assert len(sets_hit) == 1
+
+    def test_eviction_set_evicts(self):
+        from repro.hardware import Cache, CacheParams
+
+        cache = Cache(CacheParams(4, 2, 16, 1))
+        victim = 0x1000
+        cache.touch(victim)
+        for addr in eviction_set(victim, sets=4, block_bytes=16, ways=2):
+            cache.touch(addr)
+        assert not cache.lookup(victim)

@@ -1,0 +1,143 @@
+"""Unit tests for the cache and TLB simulators."""
+
+import pytest
+
+from repro.hardware import Cache, CacheParams, Tlb, TlbParams
+
+
+def make_cache(sets=4, ways=2, block=16, latency=1):
+    return Cache(CacheParams(sets, ways, block, latency, "test"))
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert not c.touch(0x100)
+        assert c.touch(0x100)
+
+    def test_lookup_does_not_change_state(self):
+        c = make_cache()
+        assert not c.lookup(0x100)
+        assert not c.lookup(0x100)  # still absent
+        c.touch(0x100)
+        before = c.state()
+        assert c.lookup(0x100)
+        assert c.state() == before
+
+    def test_same_block_shares_line(self):
+        c = make_cache(block=16)
+        c.touch(0x100)
+        assert c.touch(0x10F)  # same 16-byte block
+        assert not c.touch(0x110)  # next block
+
+    def test_set_indexing(self):
+        c = make_cache(sets=4, block=16)
+        # Addresses 4*16=64 bytes apart map to the same set.
+        c.touch(0x000)
+        c.touch(0x040)
+        c.touch(0x080)  # evicts 0x000 in a 2-way set
+        assert not c.lookup(0x000)
+        assert c.lookup(0x040)
+
+    def test_lru_eviction_order(self):
+        c = make_cache(sets=1, ways=2, block=16)
+        c.touch(0x00)
+        c.touch(0x10)
+        c.touch(0x00)  # promote 0x00
+        c.touch(0x20)  # evicts LRU = 0x10
+        assert c.lookup(0x00)
+        assert not c.lookup(0x10)
+
+    def test_evict(self):
+        c = make_cache()
+        c.touch(0x100)
+        assert c.evict(0x100)
+        assert not c.lookup(0x100)
+        assert not c.evict(0x100)  # second evict is a no-op
+
+    def test_flush(self):
+        c = make_cache()
+        for a in range(0, 256, 16):
+            c.touch(a)
+        c.flush()
+        assert c.occupancy() == 0
+
+    def test_occupancy_bounded_by_capacity(self):
+        c = make_cache(sets=4, ways=2)
+        for a in range(0, 4096, 16):
+            c.touch(a)
+        assert c.occupancy() <= 4 * 2
+
+    def test_preload(self):
+        c = make_cache()
+        c.preload([0x00, 0x10, 0x20])
+        assert c.lookup(0x00) and c.lookup(0x10) and c.lookup(0x20)
+
+    def test_clone_independent(self):
+        c = make_cache()
+        c.touch(0x100)
+        twin = c.clone()
+        twin.touch(0x200)
+        assert not c.lookup(0x200)
+        assert twin.lookup(0x100)
+
+    def test_state_reflects_lru_order(self):
+        c = make_cache(sets=1, ways=2, block=16)
+        c.touch(0x00)
+        c.touch(0x10)
+        s1 = c.state()
+        c.touch(0x00)  # reorder only
+        s2 = c.state()
+        assert s1 != s2
+
+    def test_geometry_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheParams(3, 2, 16, 1)
+        with pytest.raises(ValueError):
+            CacheParams(4, 2, 24, 1)
+
+    def test_capacity(self):
+        assert CacheParams(128, 4, 32, 1).capacity_bytes == 16384
+
+
+class TestTlb:
+    def make(self, sets=2, ways=2, page=4096):
+        return Tlb(TlbParams(sets, ways, page, 30, "test"))
+
+    def test_page_granularity(self):
+        t = self.make()
+        t.touch(0x1000)
+        assert t.lookup(0x1FFF)  # same 4 KB page
+        assert not t.lookup(0x2000)
+
+    def test_lru(self):
+        t = self.make(sets=1, ways=2)
+        t.touch(0x0000)
+        t.touch(0x1000)
+        t.touch(0x0000)
+        t.touch(0x2000)  # evicts 0x1000
+        assert t.lookup(0x0000)
+        assert not t.lookup(0x1000)
+
+    def test_lookup_pure(self):
+        t = self.make()
+        t.touch(0x1000)
+        before = t.state()
+        t.lookup(0x1000)
+        assert t.state() == before
+
+    def test_evict_and_flush(self):
+        t = self.make()
+        t.touch(0x1000)
+        assert t.evict(0x1000)
+        assert not t.lookup(0x1000)
+        t.touch(0x1000)
+        t.flush()
+        assert not t.lookup(0x1000)
+
+    def test_clone(self):
+        t = self.make()
+        t.touch(0x1000)
+        twin = t.clone()
+        twin.evict(0x1000)
+        assert t.lookup(0x1000)

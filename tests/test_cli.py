@@ -1,0 +1,130 @@
+"""The command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+LEAKY = "while h > 0 do { h := h - 1 };\nready := 1\n"
+MITIGATED = (
+    "mitigate(16, H) { while h > 0 do { h := h - 1 } };\nready := 1\n"
+)
+
+
+@pytest.fixture()
+def leaky(tmp_path):
+    path = tmp_path / "leaky.tl"
+    path.write_text(LEAKY)
+    return str(path)
+
+
+@pytest.fixture()
+def mitigated(tmp_path):
+    path = tmp_path / "mitigated.tl"
+    path.write_text(MITIGATED)
+    return str(path)
+
+
+class TestCheck:
+    def test_rejects_leaky(self, leaky, capsys):
+        rc = main(["check", leaky, "--gamma", "h=H,ready=L"])
+        assert rc == 1
+        assert "ILL-TYPED" in capsys.readouterr().out
+
+    def test_accepts_mitigated(self, mitigated, capsys):
+        rc = main(["check", mitigated, "--gamma", "h=H,ready=L"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "well-typed" in out
+        assert "mitigate" in out
+
+    def test_custom_lattice(self, tmp_path, capsys):
+        path = tmp_path / "p.tl"
+        path.write_text("m := 1\n")
+        rc = main(["check", str(path), "--gamma", "m=M",
+                   "--levels", "L,M,H"])
+        assert rc == 0
+
+    def test_bad_gamma_spec(self, leaky):
+        with pytest.raises(SystemExit):
+            main(["check", leaky, "--gamma", "h:H"])
+
+    def test_unknown_level(self, leaky):
+        with pytest.raises(SystemExit):
+            main(["check", leaky, "--gamma", "h=TOPSECRET"])
+
+
+class TestInferAndFix:
+    def test_infer_prints_annotated(self, leaky, capsys):
+        rc = main(["infer", leaky, "--gamma", "h=H,ready=L"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[H,H]" in out and "[L,L]" in out
+
+    def test_fix_produces_welltyped_output(self, leaky, capsys, tmp_path):
+        rc = main(["fix", leaky, "--gamma", "h=H,ready=L"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mitigate" in out
+        # The printed program must itself check.
+        program = "\n".join(
+            line for line in out.splitlines() if not line.startswith("//")
+        )
+        fixed = tmp_path / "fixed.tl"
+        fixed.write_text(program)
+        assert main(["check", str(fixed), "--gamma", "h=H,ready=L"]) == 0
+
+
+class TestRun:
+    def test_run_mitigated(self, mitigated, capsys):
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0",
+                   "--hardware", "partitioned"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "time:" in out
+        assert "final ready = 1" in out
+        assert "mitigations:" in out
+
+    def test_run_arrays(self, tmp_path, capsys):
+        path = tmp_path / "arr.tl"
+        path.write_text("s := a[0] + a[1] + a[2]\n")
+        rc = main(["run", str(path), "--gamma", "a=L,s=L",
+                   "--set", "a=1:2:3", "--set", "s=0", "--hardware", "null"])
+        assert rc == 0
+        assert "final s = 6" in capsys.readouterr().out
+
+    def test_unchecked_flag(self, leaky, capsys):
+        rc = main(["run", leaky, "--gamma", "h=H,ready=L",
+                   "--set", "h=3", "--set", "ready=0", "--unchecked",
+                   "--hardware", "null"])
+        assert rc == 0
+
+
+class TestLeakage:
+    def test_mitigated_leakage_bounded(self, mitigated, capsys):
+        rc = main(["leakage", mitigated, "--gamma", "h=H,ready=L",
+                   "--secret", "h", "--values", "0..16",
+                   "--hardware", "null"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2 holds" in out
+
+    def test_unmitigated_leaks_more(self, leaky, capsys):
+        rc = main(["leakage", leaky, "--gamma", "h=H,ready=L",
+                   "--secret", "h", "--values", "0..8", "--unchecked",
+                   "--hardware", "null"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Q        = 3.000 bits" in out
+
+
+class TestContract:
+    def test_partitioned_passes(self, capsys):
+        rc = main(["contract", "partitioned", "--trials", "4"])
+        assert rc == 0
+        assert "all contract properties hold" in capsys.readouterr().out
+
+    def test_nopar_fails(self, capsys):
+        rc = main(["contract", "nopar", "--trials", "4"])
+        assert rc == 1
+        assert "P5-write-label" in capsys.readouterr().out

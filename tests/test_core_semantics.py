@@ -1,0 +1,195 @@
+"""Unit tests for the core (untimed) semantics of Fig. 2."""
+
+import pytest
+
+from repro.lang import parse, parse_expr
+from repro.machine import Memory
+from repro.semantics import (
+    EvaluationError,
+    STOP,
+    core_step,
+    eval_expr,
+    eval_expr_traced,
+    run_core,
+)
+
+
+def ev(src, **mem):
+    return eval_expr(parse_expr(src), Memory(mem))
+
+
+class TestExpressionEvaluation:
+    def test_arithmetic(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("(1 + 2) * 3") == 9
+        assert ev("10 - 4 - 3") == 3
+
+    def test_variables(self):
+        assert ev("x + y", x=2, y=3) == 5
+
+    def test_division_truncates_toward_zero(self):
+        assert ev("7 / 2") == 3
+        assert ev("0 - 7 / 2") == -3  # (-7)/2 via unary composition
+        assert ev("(0 - 7) / 2") == -3
+
+    def test_division_by_zero_is_zero(self):
+        assert ev("5 / 0") == 0
+        assert ev("5 % 0") == 0
+
+    def test_mod_sign_matches_c(self):
+        assert ev("7 % 3") == 1
+        assert ev("(0 - 7) % 3") == -1
+
+    def test_div_mod_identity(self):
+        for a in (-7, -1, 0, 3, 10):
+            for b in (-3, -1, 2, 5):
+                mem = Memory({"a": a, "b": b})
+                q = eval_expr(parse_expr("a / b"), mem)
+                r = eval_expr(parse_expr("a % b"), mem)
+                assert q * b + r == a
+
+    def test_comparisons(self):
+        assert ev("3 < 5") == 1
+        assert ev("5 <= 5") == 1
+        assert ev("3 == 4") == 0
+        assert ev("3 != 4") == 1
+
+    def test_booleans_nonzero_is_true(self):
+        assert ev("2 && 3") == 1
+        assert ev("0 && 3") == 0
+        assert ev("0 || 5") == 1
+        assert ev("!7") == 0
+        assert ev("!0") == 1
+
+    def test_bitwise(self):
+        assert ev("12 & 10") == 8
+        assert ev("12 | 10") == 14
+        assert ev("12 ^ 10") == 6
+        assert ev("1 << 4") == 16
+        assert ev("16 >> 2") == 4
+
+    def test_negative_shift_is_identity(self):
+        assert ev("8 << (0 - 1)") == 8
+        assert ev("8 >> (0 - 1)") == 8
+
+    def test_unary_minus(self):
+        assert ev("-x", x=5) == -5
+
+    def test_array_read(self):
+        m = Memory({"a": [10, 20, 30], "i": 2})
+        assert eval_expr(parse_expr("a[i]"), m) == 30
+
+    def test_array_out_of_bounds(self):
+        m = Memory({"a": [10], "i": 5})
+        with pytest.raises(EvaluationError, match="out of bounds"):
+            eval_expr(parse_expr("a[i]"), m)
+
+    def test_traced_accesses_in_order(self):
+        m = Memory({"x": 1, "y": 2, "a": [0, 0, 0]})
+        _, accesses = eval_expr_traced(parse_expr("x + a[y]"), m)
+        names = [(acc.name, acc.index) for acc in accesses]
+        assert names == [("x", 0), ("y", 0), ("a", 2)]
+
+    def test_no_short_circuit_accesses(self):
+        # Both operands of && are evaluated so the access set is
+        # value-independent (see module docstring).
+        m = Memory({"x": 0, "y": 1})
+        _, accesses = eval_expr_traced(parse_expr("x && y"), m)
+        assert {acc.name for acc in accesses} == {"x", "y"}
+
+
+class TestCoreStepping:
+    def test_skip_stops(self):
+        step = core_step(parse("skip"), Memory({}))
+        assert step.continuation is STOP
+
+    def test_assign(self):
+        m = Memory({"x": 0})
+        step = core_step(parse("x := 41 + 1"), m)
+        assert m.read("x") == 42
+        assert step.assigned == ("x", 42)
+
+    def test_array_assign(self):
+        m = Memory({"a": [0, 0], "i": 1})
+        core_step(parse("a[i] := 9"), m)
+        assert m.read_elem("a", 1) == 9
+
+    def test_array_assign_oob(self):
+        m = Memory({"a": [0], "i": 3})
+        with pytest.raises(EvaluationError):
+            core_step(parse("a[i] := 9"), m)
+
+    def test_if_picks_branch(self):
+        m = Memory({"h": 1, "x": 0})
+        step = core_step(parse("if h then { x := 1 } else { x := 2 }"), m)
+        run_core(step.continuation, m)
+        assert m.read("x") == 1
+
+    def test_if_nonzero_is_true(self):
+        m = Memory({"h": -7, "x": 0})
+        step = core_step(parse("if h then { x := 1 } else { x := 2 }"), m)
+        run_core(step.continuation, m)
+        assert m.read("x") == 1
+
+    def test_while_unfolds(self):
+        m = Memory({"x": 2})
+        prog = parse("while x > 0 do { x := x - 1 }")
+        run_core(prog, m)
+        assert m.read("x") == 0
+
+    def test_while_false_guard_stops(self):
+        m = Memory({"x": 0})
+        step = core_step(parse("while x > 0 do { x := x - 1 }"), m)
+        assert step.continuation is STOP
+
+    def test_mitigate_is_identity(self):
+        # Core semantics: mitigate (e, l) c steps to c.
+        m = Memory({"x": 0})
+        step = core_step(parse("mitigate(5, H) { x := 1 }"), m)
+        run_core(step.continuation, m)
+        assert m.read("x") == 1
+
+    def test_sleep_is_skip_untimed(self):
+        m = Memory({"h": 5})
+        step = core_step(parse("sleep(h)"), m)
+        assert step.continuation is STOP
+
+    def test_seq_threads(self):
+        m = Memory({"x": 0, "y": 0})
+        run_core(parse("x := 1; y := x + 1"), m)
+        assert m.read("y") == 2
+
+    def test_seq_preserves_remaining(self):
+        m = Memory({"x": 0, "y": 0})
+        step = core_step(parse("x := 1; y := 2"), m)
+        assert step.continuation is not STOP
+        assert m.read("x") == 1
+        assert m.read("y") == 0
+
+
+class TestRunCore:
+    def test_factorial(self):
+        src = """
+        acc := 1;
+        while n > 0 do { acc := acc * n; n := n - 1 }
+        """
+        m = Memory({"n": 5, "acc": 0})
+        run_core(parse(src), m)
+        assert m.read("acc") == 120
+
+    def test_nontermination_raises(self):
+        with pytest.raises(TimeoutError):
+            run_core(parse("while 1 do { skip }"), Memory({}), max_steps=100)
+
+    def test_returns_memory(self):
+        m = Memory({"x": 0})
+        out = run_core(parse("x := 3"), m)
+        assert out is m
+
+    def test_deterministic(self):
+        src = "x := 0; while x < 10 do { x := x + 1; y := y * 2 + x }"
+        m1 = Memory({"x": 0, "y": 1})
+        m2 = Memory({"x": 0, "y": 1})
+        run_core(parse(src), m1)
+        run_core(parse(src), m2)
+        assert m1 == m2

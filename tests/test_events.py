@@ -1,0 +1,106 @@
+"""Unit tests for the events module (observations and mitigate vectors)."""
+
+import pytest
+
+from repro.lang import DEFAULT_LATTICE
+from repro.semantics.events import (
+    Event,
+    MitigationRecord,
+    mitigation_ids,
+    mitigation_times,
+    observable_events,
+    observation_key,
+    project_mitigations,
+)
+
+LAT = DEFAULT_LATTICE
+L, H = LAT["L"], LAT["H"]
+
+
+def records():
+    return (
+        MitigationRecord("a", H, 0, 10, pc_label=L),
+        MitigationRecord("b", H, 10, 25, pc_label=H),
+        MitigationRecord("c", L, 25, 30, pc_label=L),
+        MitigationRecord("d", H, 30, 50, pc_label=None),
+    )
+
+
+class TestEvent:
+    def test_location_scalar(self):
+        assert Event("x", 1, 5).location() == "x"
+
+    def test_location_array(self):
+        assert Event("a", 1, 5, index=3).location() == "a[3]"
+
+    def test_str(self):
+        assert str(Event("x", 7, 42)) == "(x, 7, 42)"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Event("x", 1, 2).value = 5
+
+
+class TestObservableEvents:
+    GAMMA = {"l": L, "h": H}
+
+    def test_projection(self):
+        events = (Event("l", 1, 5), Event("h", 2, 9), Event("l", 3, 12))
+        low = observable_events(events, self.GAMMA, L)
+        assert [e.name for e in low] == ["l", "l"]
+
+    def test_top_sees_all(self):
+        events = (Event("l", 1, 5), Event("h", 2, 9))
+        assert len(observable_events(events, self.GAMMA, H)) == 2
+
+    def test_unlabeled_name_raises(self):
+        with pytest.raises(KeyError):
+            observable_events((Event("q", 1, 2),), self.GAMMA, L)
+
+    def test_observation_key_includes_everything(self):
+        e1 = (Event("l", 1, 5),)
+        assert observation_key(e1) != observation_key((Event("l", 1, 6),))
+        assert observation_key(e1) != observation_key((Event("l", 2, 5),))
+        assert observation_key(e1) == observation_key((Event("l", 1, 5),))
+
+    def test_observation_key_sees_indices(self):
+        a = (Event("a", 1, 5, index=0),)
+        b = (Event("a", 1, 5, index=1),)
+        assert observation_key(a) != observation_key(b)
+
+
+class TestMitigationRecords:
+    def test_duration(self):
+        assert MitigationRecord("x", H, 10, 25).duration == 15
+
+    def test_ids_and_times(self):
+        rs = records()
+        assert mitigation_ids(rs) == ("a", "b", "c", "d")
+        assert mitigation_times(rs) == (10, 15, 5, 20)
+
+    def test_project_by_pc_in(self):
+        rs = records()
+        kept = project_mitigations(rs, pc_in=frozenset({H}))
+        assert mitigation_ids(kept) == ("b",)
+
+    def test_project_by_pc_not_in(self):
+        rs = records()
+        kept = project_mitigations(rs, pc_not_in=frozenset({H}))
+        # 'd' has no pc label: pc_not_in treats None as not-in-the-set.
+        assert mitigation_ids(kept) == ("a", "c", "d")
+
+    def test_project_by_level(self):
+        rs = records()
+        kept = project_mitigations(rs, level_in=frozenset({L}))
+        assert mitigation_ids(kept) == ("c",)
+
+    def test_composed_projection(self):
+        # Definition 2's predicate: low pc, high level.
+        rs = records()
+        kept = project_mitigations(
+            rs, pc_not_in=frozenset({H}), level_in=frozenset({H})
+        )
+        assert mitigation_ids(kept) == ("a", "d")
+
+    def test_empty_projection(self):
+        assert project_mitigations((), pc_in=frozenset({L})) == ()

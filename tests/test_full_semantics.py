@@ -1,0 +1,235 @@
+"""Unit tests for the full (timed) semantics: configurations (c, m, E, G)."""
+
+import pytest
+
+from repro.lang import DEFAULT_LATTICE, parse
+from repro.machine import Layout, Memory
+from repro.hardware import (
+    NullHardware,
+    PartitionedHardware,
+    StandardHardware,
+    tiny_machine,
+)
+from repro.semantics import (
+    MitigationState,
+    SemanticsError,
+    check_adequacy,
+    check_sequential_composition,
+    check_sleep_accuracy,
+    execute,
+    observable_events,
+)
+
+LAT = DEFAULT_LATTICE
+
+
+def run(src, mem, hardware=None, **kw):
+    env = hardware if hardware is not None else NullHardware(LAT)
+    return execute(parse(src), Memory(mem), env, **kw)
+
+
+class TestTiming:
+    def test_time_accumulates(self):
+        r1 = run("skip [L,L]", {})
+        r2 = run("skip [L,L]; skip [L,L]", {})
+        assert r2.time == 2 * r1.time
+
+    def test_sleep_exact_duration(self):
+        # Property 4: sleep(n) takes exactly max(n, 0).
+        assert run("sleep(7) [L,L]", {}).time == 7
+        assert run("sleep(0) [L,L]", {}).time == 0
+
+    def test_sleep_negative_takes_no_time(self):
+        assert run("sleep(0 - 5) [L,L]", {}).time == 0
+
+    def test_sleep_of_variable(self):
+        assert run("sleep(h) [H,H]", {"h": 42}).time == 42
+
+    def test_direct_channel_example(self):
+        # Sec. 2.1: control flow affects timing.
+        src = "if h then { sleep(1) [H,H] } else { sleep(10) [H,H] } [H,H]"
+        t1 = run(src, {"h": 1}).time
+        t0 = run(src, {"h": 0}).time
+        assert t0 - t1 == 9
+
+    def test_seq_adds_no_cost(self):
+        base = run("skip [L,L]", {}).time
+        seq = run("skip [L,L]; skip [L,L]; skip [L,L]", {}).time
+        assert seq == 3 * base
+
+    def test_missing_labels_rejected(self):
+        with pytest.raises(SemanticsError, match="no timing labels"):
+            run("skip", {})
+
+    def test_steps_counted(self):
+        r = run("skip [L,L]; skip [L,L]", {})
+        assert r.steps == 2
+
+
+class TestEvents:
+    def test_assignment_event(self):
+        r = run("x := 5 [L,L]", {"x": 0})
+        assert len(r.events) == 1
+        e = r.events[0]
+        assert (e.name, e.value) == ("x", 5)
+        assert e.time == r.time
+
+    def test_array_event_carries_index(self):
+        r = run("a[1] := 9 [L,L]", {"a": [0, 0]})
+        assert r.events[0].index == 1
+        assert r.events[0].location() == "a[1]"
+
+    def test_event_order_and_times_monotone(self):
+        r = run("x := 1 [L,L]; y := 2 [L,L]; x := 3 [L,L]",
+                {"x": 0, "y": 0})
+        names = [e.name for e in r.events]
+        assert names == ["x", "y", "x"]
+        times = [e.time for e in r.events]
+        assert times == sorted(times)
+
+    def test_observable_projection(self):
+        r = run("l := 1 [L,L]; h := 2 [H,H]", {"l": 0, "h": 0})
+        gamma = {"l": LAT["L"], "h": LAT["H"]}
+        low = observable_events(r.events, gamma, LAT["L"])
+        assert [e.name for e in low] == ["l"]
+        high = observable_events(r.events, gamma, LAT["H"])
+        assert [e.name for e in high] == ["l", "h"]
+
+    def test_guard_evaluation_emits_no_event(self):
+        r = run("if x then { skip [L,L] } else { skip [L,L] } [L,L]",
+                {"x": 1})
+        assert r.events == ()
+
+
+class TestMitigateExecution:
+    def test_pads_to_prediction(self):
+        r = run("mitigate(100, H) { sleep(3) [H,H] } [L,L]", {})
+        assert len(r.mitigations) == 1
+        assert r.mitigations[0].duration == 100
+
+    def test_doubles_on_misprediction(self):
+        r = run("mitigate(10, H) { sleep(25) [H,H] } [L,L]", {})
+        # 10 -> 20 -> 40: first prediction > 25.
+        assert r.mitigations[0].duration == 40
+
+    def test_exact_boundary_counts_as_miss(self):
+        # Fig. 6's update loop uses >=: elapsed == prediction bumps it.
+        r = run("mitigate(10, H) { sleep(10) [H,H] } [L,L]", {})
+        assert r.mitigations[0].duration == 20
+
+    def test_zero_estimate_clamped_to_one(self):
+        r = run("mitigate(0, H) { skip [L,L] } [L,L]", {})
+        assert r.mitigations[0].duration >= 1
+
+    def test_miss_state_inflates_later_blocks(self):
+        src = ("mitigate(10, H) { sleep(25) [H,H] } [L,L];"
+               "mitigate(10, H) { sleep(1) [H,H] } [L,L]")
+        r = run(src, {})
+        durations = [m.duration for m in r.mitigations]
+        # Second block inherits Miss[H]=2 from the first: 10 * 2^2 = 40.
+        assert durations == [40, 40]
+
+    def test_possible_durations_are_powers_of_two(self):
+        # Sec. 2.3: execution times forced to n * powers of 2.
+        seen = set()
+        for h in range(1, 60):
+            r = run("mitigate(4, H) { sleep(h) [H,H] } [L,L]", {"h": h})
+            seen.add(r.mitigations[0].duration)
+        assert seen <= {4 * 2 ** k for k in range(8)}
+
+    def test_nested_mitigations_both_recorded(self):
+        src = ("mitigate(50, H) { mitigate(5, H) { sleep(1) [H,H] } [L,L] }"
+               " [L,L]")
+        r = run(src, {})
+        assert len(r.mitigations) == 2
+        inner, outer = r.mitigations
+        assert inner.end_time <= outer.end_time
+
+    def test_records_ordered_by_completion(self):
+        src = ("mitigate(8, H) { sleep(1) [H,H] } [L,L];"
+               "mitigate(8, H) { sleep(2) [H,H] } [L,L]")
+        r = run(src, {})
+        ends = [m.end_time for m in r.mitigations]
+        assert ends == sorted(ends)
+
+    def test_budget_expression_evaluated(self):
+        r = run("mitigate(n * 2, H) { sleep(1) [H,H] } [L,L]", {"n": 16})
+        assert r.mitigations[0].duration == 32
+
+    def test_mitigate_pc_attached(self):
+        prog = parse("mitigate@m1 (8, H) { sleep(1) [H,H] } [L,L]")
+        r = execute(prog, Memory({}), NullHardware(LAT),
+                    mitigate_pc={"m1": LAT["L"]})
+        assert r.mitigations[0].pc_label == LAT["L"]
+        assert r.mitigations[0].mit_id == "m1"
+
+    def test_shared_state_across_runs(self):
+        state = MitigationState()
+        src = "mitigate(10, H) { sleep(25) [H,H] } [L,L]"
+        r1 = execute(parse(src), Memory({}), NullHardware(LAT),
+                     mitigation=state)
+        r2 = execute(parse(src), Memory({}), NullHardware(LAT),
+                     mitigation=state)
+        assert r1.mitigations[0].duration == 40
+        # Second run starts with Miss[H]=2 and never mispredicts.
+        assert r2.mitigations[0].duration == 40
+
+
+class TestDeterminism:
+    def test_same_inputs_same_everything(self):
+        src = """
+        x := 0 [L,L];
+        while x < 5 do { x := x + 1 [L,L]; a[x % 3] := x [L,L] } [L,L]
+        """
+        results = [
+            run(src, {"x": 0, "a": [0, 0, 0]},
+                hardware=StandardHardware(LAT, tiny_machine()))
+            for _ in range(2)
+        ]
+        assert results[0].time == results[1].time
+        assert results[0].events == results[1].events
+        assert (results[0].environment.full_state()
+                == results[1].environment.full_state())
+
+
+class TestFaithfulnessCheckers:
+    PROGRAMS = [
+        ("x := 1 [L,L]; y := x + 1 [L,L]", {"x": 0, "y": 0}),
+        ("while x > 0 do { x := x - 1 [L,L] } [L,L]", {"x": 5}),
+        ("mitigate(4, H) { sleep(x) [H,H] } [L,L]; y := 1 [L,L]",
+         {"x": 9, "y": 0}),
+        ("if h then { h := 1 [H,H] } else { h := 2 [H,H] } [H,H]",
+         {"h": 3}),
+    ]
+
+    @pytest.mark.parametrize("src,mem", PROGRAMS)
+    def test_adequacy(self, src, mem):
+        for env in (NullHardware(LAT),
+                    StandardHardware(LAT, tiny_machine()),
+                    PartitionedHardware(LAT, tiny_machine())):
+            assert check_adequacy(parse(src), Memory(mem), env) == []
+
+    def test_sequential_composition(self):
+        c1 = parse("x := 1 [L,L]; sleep(3) [L,L]")
+        c2 = parse("y := x + 1 [L,L]")
+        for env in (NullHardware(LAT),
+                    PartitionedHardware(LAT, tiny_machine())):
+            violations = check_sequential_composition(
+                c1, c2, Memory({"x": 0, "y": 0}), env
+            )
+            assert violations == []
+
+    def test_sleep_accuracy(self):
+        for env in (NullHardware(LAT),
+                    StandardHardware(LAT, tiny_machine()),
+                    PartitionedHardware(LAT, tiny_machine())):
+            assert check_sleep_accuracy([-3, 0, 1, 17, 100], env) == []
+
+
+class TestLayoutSharing:
+    def test_explicit_layout_reused(self):
+        prog = parse("x := 1 [L,L]")
+        mem = Memory({"x": 0})
+        layout = Layout.build(prog, mem)
+        r = execute(prog, mem.copy(), NullHardware(LAT), layout=layout)
+        assert r.time > 0

@@ -1,0 +1,143 @@
+"""Deep-path tests for the partitioned design and the environment interface."""
+
+from repro.lang import DEFAULT_LATTICE
+from repro.lattice import chain
+from repro.machine import AccessTrace
+from repro.hardware import (
+    MachineParams,
+    CacheParams,
+    PartitionedHardware,
+    StepKind,
+    TlbParams,
+    tiny_machine,
+)
+
+LAT = DEFAULT_LATTICE
+L, H = LAT["L"], LAT["H"]
+DATA = 0x1000_0000
+CODE = 0x0040_0000
+
+
+def trace(instr=CODE, reads=(), writes=()):
+    return AccessTrace(instruction=instr, reads=tuple(reads),
+                       writes=tuple(writes))
+
+
+def step(env, addr, label, instr=CODE):
+    return env.step(StepKind.ASSIGN, trace(instr, reads=[addr]),
+                    label, label)
+
+
+class TestPartitionedL2Paths:
+    def _machine(self):
+        # L1 tiny (1 set x 1 way), L2 roomy: easy to create L2-hit states.
+        return MachineParams(
+            l1_data=CacheParams(1, 1, 16, 1, "L1 Data Cache"),
+            l2_data=CacheParams(8, 4, 16, 6, "L2 Data Cache"),
+            l1_inst=CacheParams(1, 1, 16, 1, "L1 Inst. Cache"),
+            l2_inst=CacheParams(8, 4, 16, 6, "L2 Inst. Cache"),
+            data_tlb=TlbParams(1, 4, 4096, 30, "Data TLB"),
+            inst_tlb=TlbParams(1, 4, 4096, 30, "Instruction TLB"),
+        )
+
+    def test_l2_hit_in_own_partition(self):
+        env = PartitionedHardware(LAT, self._machine())
+        step(env, DATA, L)          # install everywhere (L partition)
+        step(env, DATA + 16, L)     # evict DATA from the 1-line L1
+        part = env.partitions[L]
+        assert not part.l1_data.lookup(DATA)
+        assert part.l2_data.lookup(DATA)
+        cost = step(env, DATA, L)
+        # exec(1) + ifetch L1 hit (1) + data: L1 lat + L2 lat = 1 + 6.
+        assert cost == 1 + 1 + 7
+        assert part.l1_data.lookup(DATA)  # refilled into L1
+
+    def test_l2_hit_in_lower_partition_serves_high_silently(self):
+        env = PartitionedHardware(LAT, self._machine())
+        step(env, DATA, L)
+        step(env, DATA + 16, L)  # DATA now only in L's L2
+        low_before = env.project(L)
+        cost = step(env, DATA, H)
+        assert env.project(L) == low_before  # silent L2 hit at L
+        # The H access pays L1 miss + L2 hit and installs into H's L1.
+        assert env.partitions[H].l1_data.lookup(DATA)
+        # exec(1) + ifetch hit in L's partition (1) + data L1 lat + L2 lat.
+        assert cost == 1 + 1 + 7
+
+    def test_full_miss_evicts_both_levels_above(self):
+        env = PartitionedHardware(LAT, self._machine())
+        step(env, DATA, H)  # resident in H's L1+L2
+        high = env.partitions[H]
+        assert high.l1_data.lookup(DATA) and high.l2_data.lookup(DATA)
+        step(env, DATA, L)  # the consistency move
+        assert not high.l1_data.lookup(DATA)
+        assert not high.l2_data.lookup(DATA)
+        low = env.partitions[L]
+        assert low.l1_data.lookup(DATA) and low.l2_data.lookup(DATA)
+
+    def test_tlb_move_semantics(self):
+        env = PartitionedHardware(LAT, self._machine())
+        step(env, DATA, H)
+        assert env.partitions[H].data_tlb.lookup(DATA)
+        step(env, DATA, L)
+        # The TLB entry moved down too (evicted from H, installed at L).
+        assert not env.partitions[H].data_tlb.lookup(DATA)
+        assert env.partitions[L].data_tlb.lookup(DATA)
+
+    def test_high_tlb_hit_usable_from_high_context(self):
+        env = PartitionedHardware(LAT, self._machine())
+        step(env, DATA, H)
+        # Second H access: TLB hit (no 30-cycle walk).
+        cost = step(env, DATA, H)
+        assert cost < 30
+
+    def test_instruction_side_partitioned_identically(self):
+        env = PartitionedHardware(LAT, self._machine())
+        env.step(StepKind.SKIP, trace(instr=CODE), H, H)
+        assert env.partitions[H].l1_inst.lookup(CODE)
+        fresh = PartitionedHardware(LAT, self._machine())
+        assert env.project(L) == fresh.project(L)
+        # An L fetch of the same block moves it down.
+        env.step(StepKind.SKIP, trace(instr=CODE), L, L)
+        assert not env.partitions[H].l1_inst.lookup(CODE)
+        assert env.partitions[L].l1_inst.lookup(CODE)
+
+    def test_middle_level_move_in_chain(self):
+        lat = chain(("L", "M", "H"))
+        env = PartitionedHardware(lat, self._machine())
+        step(env, DATA, lat["H"])
+        step(env, DATA, lat["M"])  # moves H -> M
+        assert not env.partitions[lat["H"]].holds_data(DATA)
+        assert env.partitions[lat["M"]].holds_data(DATA)
+        assert not env.partitions[lat["L"]].holds_data(DATA)
+        # An M access does not evict from incomparable/lower partitions.
+        step(env, DATA + 64, lat["L"])
+        assert env.partitions[lat["M"]].holds_data(DATA)
+
+
+class TestInterfaceUtilities:
+    def test_view_is_cumulative(self):
+        env = PartitionedHardware(LAT, tiny_machine())
+        step(env, DATA, L)
+        view_l = env.view(L)
+        view_h = env.view(H)
+        assert len(dict(view_h)) == 2  # L and H projections
+        assert dict(view_h)["L"] == dict(view_l)["L"]
+
+    def test_projected_equal(self):
+        e1 = PartitionedHardware(LAT, tiny_machine())
+        e2 = PartitionedHardware(LAT, tiny_machine())
+        step(e1, DATA, H)
+        assert e1.projected_equal(e2, L)
+        assert not e1.projected_equal(e2, H)
+
+    def test_warm_up(self):
+        env = PartitionedHardware(LAT, tiny_machine())
+        env.warm_up([trace(reads=[DATA]), trace(reads=[DATA + 64])], L, L)
+        assert env.partitions[L].holds_data(DATA)
+        assert env.partitions[L].holds_data(DATA + 64)
+
+    def test_full_state_covers_all_levels(self):
+        env = PartitionedHardware(LAT, tiny_machine())
+        names = [name for name, _ in env.full_state()]
+        assert names == ["L", "H"]

@@ -1,0 +1,149 @@
+"""Unit tests for timing-label inference."""
+
+import pytest
+
+from repro.lang import DEFAULT_LATTICE, labeled_commands, parse
+from repro.lattice import chain
+from repro.typesystem import (
+    SecurityEnvironment,
+    infer_labels,
+    is_well_typed,
+    typecheck,
+)
+
+LAT = DEFAULT_LATTICE
+L, H = LAT["L"], LAT["H"]
+
+
+def gamma(**names):
+    return SecurityEnvironment(LAT, {n: LAT[v] for n, v in names.items()})
+
+
+class TestBasicInference:
+    def test_low_context_gets_low_labels(self):
+        prog = parse("l := 1")
+        infer_labels(prog, gamma(l="L"))
+        assert prog.read_label == L and prog.write_label == L
+
+    def test_high_context_gets_high_labels(self):
+        prog = parse("if h then { g := 1 } else { g := 2 }")
+        infer_labels(prog, gamma(h="H", g="H"))
+        then = prog.then_branch
+        assert then.read_label == H and then.write_label == H
+        # The if itself sits in a low context.
+        assert prog.read_label == L and prog.write_label == L
+
+    def test_assignment_to_high_in_low_context_stays_low(self):
+        # Sec. 5.1: a low write label on an assignment to a high variable
+        # permits the variable to be stored in low cache.
+        prog = parse("h := l")
+        infer_labels(prog, gamma(h="H", l="L"))
+        assert prog.write_label == L
+
+    def test_inferred_labels_equal(self):
+        # Inference always picks lr = lw (cache-usable).
+        prog = parse("if h then { g := 1 } else { skip }; l := 2")
+        g = gamma(h="H", g="H", l="L")
+        infer_labels(prog, g)
+        for cmd in labeled_commands(prog):
+            assert cmd.read_label == cmd.write_label
+
+    def test_nested_context_accumulates(self):
+        lat = chain(("L", "M", "H"))
+        g = SecurityEnvironment(
+            lat, {"m": lat["M"], "h": lat["H"], "x": lat["H"]}
+        )
+        prog = parse("if m then { if h then { x := 1 } else { skip } } "
+                     "else { skip }", lat)
+        infer_labels(prog, g)
+        inner_if = prog.then_branch
+        assert inner_if.read_label == lat["M"]
+        innermost = inner_if.then_branch
+        assert innermost.read_label == lat["H"]
+
+    def test_array_index_label_raises_write_label(self):
+        prog = parse("x := a[h]")
+        infer_labels(prog, gamma(x="H", a="L", h="H"))
+        assert prog.write_label == H
+
+    def test_array_store_index(self):
+        prog = parse("a[h] := 1")
+        infer_labels(prog, gamma(a="H", h="H"))
+        assert prog.write_label == H
+
+    def test_mitigate_body_keeps_outer_pc(self):
+        prog = parse("mitigate(1, H) { x := 1 }")
+        infer_labels(prog, gamma(x="L"))
+        assert prog.body.write_label == L
+
+    def test_while_body_raised_by_guard(self):
+        prog = parse("while h > 0 do { h := h - 1 }")
+        infer_labels(prog, gamma(h="H"))
+        assert prog.body.write_label == H
+        assert prog.write_label == L
+
+
+class TestHandAnnotationsPreserved:
+    def test_explicit_labels_untouched(self):
+        prog = parse("x := 1 [H,H]")
+        infer_labels(prog, gamma(x="H"))
+        assert prog.read_label == H
+
+    def test_partial_annotation(self):
+        prog = parse("x := 1 [_,H]")
+        infer_labels(prog, gamma(x="H"))
+        assert prog.write_label == H
+        assert prog.read_label == H  # filled from the explicit write label
+
+    def test_mixed_program(self):
+        prog = parse("x := 1 [H,H]; y := 2")
+        infer_labels(prog, gamma(x="H", y="H"))
+        assert prog.first.read_label == H
+        assert prog.second.read_label == L
+
+
+class TestInferenceThenTypecheck:
+    WELL_TYPED_AFTER_INFERENCE = [
+        ("l := 1; h := l", {"l": "L", "h": "H"}),
+        ("if h then { g := 1 } else { g := 2 }", {"h": "H", "g": "H"}),
+        ("while h > 0 do { h := h - 1 }", {"h": "H"}),
+        ("mitigate(1, H) { sleep(h) }; l := 1", {"h": "H", "l": "L"}),
+        ("h := l; g := h + 1", {"l": "L", "h": "H", "g": "H"}),
+    ]
+
+    @pytest.mark.parametrize("src,g", WELL_TYPED_AFTER_INFERENCE)
+    def test_roundtrip(self, src, g):
+        env = gamma(**g)
+        prog = infer_labels(parse(src), env)
+        assert is_well_typed(prog, env)
+
+    def test_inference_cannot_fix_explicit_flows(self):
+        env = gamma(l="L", h="H")
+        prog = infer_labels(parse("l := h"), env)
+        assert not is_well_typed(prog, env)
+
+    def test_inferred_labels_pass_cache_side_condition(self):
+        env = gamma(h="H", g="H", l="L")
+        prog = infer_labels(
+            parse("l := 1; mitigate(1, H) {"
+                  " if h then { g := 1 } else { g := 2 } }"), env
+        )
+        typecheck(prog, env, require_cache_labels=True)
+
+    def test_paper_login_shape(self):
+        # The Sec. 8.3 skeleton: high search must be mitigated for the
+        # final public response to typecheck.
+        env = gamma(t="H", uh="L", found="H", response="L")
+        bad = infer_labels(
+            parse("if t == uh then { found := 1 } else { skip };"
+                  "response := 1"),
+            env,
+        )
+        assert not is_well_typed(bad, env)
+        good = infer_labels(
+            parse("mitigate(1, H) {"
+                  " if t == uh then { found := 1 } else { skip } };"
+                  "response := 1"),
+            env,
+        )
+        assert is_well_typed(good, env)

@@ -1,0 +1,362 @@
+"""Unit tests for the language front end: lexer, parser, pretty, builder."""
+
+import pytest
+
+from repro.lang import (
+    ArrayAssign,
+    ArrayRead,
+    Assign,
+    B,
+    BinOp,
+    If,
+    IntLit,
+    LexError,
+    Mitigate,
+    ParseError,
+    Seq,
+    Skip,
+    Sleep,
+    UnOp,
+    Var,
+    While,
+    ast_equal,
+    labeled_commands,
+    mitigates,
+    parse,
+    parse_expr,
+    pretty,
+    pretty_expr,
+    program_variables,
+    seq,
+    tokenize,
+)
+from repro.lattice import chain, two_point
+
+
+class TestLexer:
+    def test_simple_tokens(self):
+        kinds = [t.kind for t in tokenize("x := 1 + y")]
+        assert kinds == ["ident", ":=", "int", "+", "ident", "eof"]
+
+    def test_keywords(self):
+        toks = tokenize("if while skip sleep mitigate then else do")
+        assert all(t.kind == "keyword" for t in toks[:-1])
+
+    def test_multichar_operators(self):
+        kinds = [t.kind for t in tokenize("<= >= == != && || << >> :=")]
+        assert kinds[:-1] == ["<=", ">=", "==", "!=", "&&", "||", "<<", ">>", ":="]
+
+    def test_comments_skipped(self):
+        toks = tokenize("x // comment here\n:= 1")
+        assert [t.kind for t in toks] == ["ident", ":=", "int", "eof"]
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nb")
+        assert toks[0].line == 1 and toks[1].line == 2
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("x := $")
+
+    def test_underscore_ident(self):
+        toks = tokenize("_")
+        assert toks[0].kind == "ident" and toks[0].text == "_"
+
+
+class TestParserCommands:
+    def test_skip(self):
+        cmd = parse("skip [L,H]")
+        assert isinstance(cmd, Skip)
+        assert cmd.read_label.name == "L"
+        assert cmd.write_label.name == "H"
+
+    def test_unannotated(self):
+        cmd = parse("skip")
+        assert cmd.read_label is None and cmd.write_label is None
+
+    def test_placeholder_annotation(self):
+        cmd = parse("skip [_,H]")
+        assert cmd.read_label is None and cmd.write_label.name == "H"
+
+    def test_assignment(self):
+        cmd = parse("x := y + 1 [L,L]")
+        assert isinstance(cmd, Assign)
+        assert cmd.target == "x"
+        assert isinstance(cmd.expr, BinOp)
+
+    def test_array_assignment(self):
+        cmd = parse("a[i] := 2")
+        assert isinstance(cmd, ArrayAssign)
+        assert cmd.array == "a"
+
+    def test_sequence_right_associated(self):
+        cmd = parse("skip; skip; skip")
+        assert isinstance(cmd, Seq)
+        assert isinstance(cmd.first, Skip)
+        assert isinstance(cmd.second, Seq)
+
+    def test_trailing_semicolon(self):
+        cmd = parse("skip;")
+        assert isinstance(cmd, Skip)
+
+    def test_if(self):
+        cmd = parse("if h then { x := 1 } else { x := 2 } [L,L]")
+        assert isinstance(cmd, If)
+        assert isinstance(cmd.then_branch, Assign)
+
+    def test_while(self):
+        cmd = parse("while x > 0 do { x := x - 1 } [L,L]")
+        assert isinstance(cmd, While)
+
+    def test_sleep(self):
+        cmd = parse("sleep(h) [H,H]")
+        assert isinstance(cmd, Sleep)
+        assert isinstance(cmd.duration, Var)
+
+    def test_mitigate(self):
+        cmd = parse("mitigate(10, H) { sleep(h) }")
+        assert isinstance(cmd, Mitigate)
+        assert cmd.level.name == "H"
+        assert cmd.auto_id
+
+    def test_mitigate_with_id(self):
+        cmd = parse("mitigate@block1 (10, H) { skip }")
+        assert cmd.mit_id == "block1"
+        assert not cmd.auto_id
+
+    def test_mitigate_needs_level(self):
+        with pytest.raises(ParseError, match="mitigation level"):
+            parse("mitigate(10, _) { skip }")
+
+    def test_custom_lattice_labels(self):
+        lat = chain(("L", "M", "H"))
+        cmd = parse("skip [M,M]", lat)
+        assert cmd.read_label == lat["M"]
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ParseError, match="unknown security level"):
+            parse("skip [Q,L]")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("if then else")
+
+    def test_missing_close_brace(self):
+        with pytest.raises(ParseError):
+            parse("while x do { skip")
+
+
+class TestParserExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_cmp_over_bool(self):
+        e = parse_expr("a < b && c > d")
+        assert e.op == "&&"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_left_associativity(self):
+        e = parse_expr("10 - 3 - 2")
+        assert e.op == "-"
+        assert e.left.op == "-"
+        assert e.right.value == 2
+
+    def test_unary(self):
+        e = parse_expr("-x + !y")
+        assert e.op == "+"
+        assert isinstance(e.left, UnOp) and e.left.op == "-"
+        assert isinstance(e.right, UnOp) and e.right.op == "!"
+
+    def test_array_read(self):
+        e = parse_expr("a[i + 1]")
+        assert isinstance(e, ArrayRead)
+        assert e.index.op == "+"
+
+    def test_shift_precedence(self):
+        # (d >> e) & 1 without parens: & binds looser than >>
+        e = parse_expr("d >> e & 1")
+        assert e.op == "&"
+
+
+class TestPretty:
+    PROGRAMS = [
+        "skip [L,L]",
+        "x := a[i] + 1 [L,H]",
+        "a[i + 1] := x * 2",
+        "if h then {\n    x := 1 [H,H]\n} else {\n    skip\n} [L,L]",
+        "while x > 0 do {\n    x := x - 1\n} [L,L]",
+        "mitigate(10, H) {\n    sleep(h) [H,H]\n} [L,L]",
+        "skip;\nskip [L,H];\nx := 1",
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_roundtrip(self, source):
+        first = parse(source)
+        text = pretty(first)
+        second = parse(text)
+        assert ast_equal(first, second)
+
+    def test_expr_parenthesization(self):
+        e = parse_expr("(1 + 2) * (3 - 4)")
+        text = pretty_expr(e)
+        again = parse_expr(text)
+        assert ast_equal(e, again)
+
+    def test_no_spurious_parens(self):
+        assert pretty_expr(parse_expr("1 + 2 + 3")) == "1 + 2 + 3"
+
+    def test_explicit_mitigate_id_round_trips(self):
+        cmd = parse("mitigate@foo (1, H) { skip }")
+        again = parse(pretty(cmd))
+        assert again.mit_id == "foo"
+
+
+class TestBuilder:
+    def test_expression_operators(self):
+        lat = two_point()
+        b = B(lat)
+        e = (b.v("x") + 1) * 2
+        assert pretty_expr(e.node) == "(x + 1) * 2"
+
+    def test_comparison_builds_nodes(self):
+        b = B(two_point())
+        e = b.v("x") == b.v("y")
+        assert e.node.op == "=="
+
+    def test_boolean_helpers(self):
+        b = B(two_point())
+        e = (b.v("x") > 0).and_(b.v("y") < 2)
+        assert e.node.op == "&&"
+
+    def test_command_builders(self):
+        lat = two_point()
+        b = B(lat)
+        prog = b.seq(
+            b.assign("x", 1, lat["L"], lat["L"]),
+            b.while_(b.v("x") > 0, b.assign("x", b.v("x") - 1)),
+        )
+        assert isinstance(prog, Seq)
+        assert isinstance(prog.second, While)
+
+    def test_if_default_else_is_skip(self):
+        b = B(two_point())
+        cmd = b.if_(b.v("h"), b.assign("x", 1))
+        assert isinstance(cmd.else_branch, Skip)
+
+    def test_store_and_at(self):
+        b = B(two_point())
+        cmd = b.store("a", b.v("i"), b.at("a", b.v("i")) + 1)
+        assert isinstance(cmd, ArrayAssign)
+        assert isinstance(cmd.expr.left, ArrayRead)
+
+    def test_reverse_operators(self):
+        b = B(two_point())
+        e = 1 + b.v("x")
+        assert e.node.op == "+"
+        assert isinstance(e.node.left, IntLit)
+
+
+class TestAstHelpers:
+    def test_labeled_commands_excludes_seq(self):
+        prog = parse("skip; skip; x := 1")
+        cmds = labeled_commands(prog)
+        assert len(cmds) == 3
+
+    def test_mitigates(self):
+        prog = parse("mitigate(1, H) { mitigate(2, H) { skip } }")
+        assert len(mitigates(prog)) == 2
+
+    def test_program_variables(self):
+        prog = parse("x := a[i] + y; while z > 0 do { skip }")
+        assert program_variables(prog) >= {"x", "a", "i", "y", "z"}
+
+    def test_seq_helper(self):
+        prog = seq(Skip(), Skip(), Skip())
+        assert isinstance(prog, Seq)
+        assert isinstance(prog.second, Seq)
+
+    def test_seq_empty_rejected(self):
+        with pytest.raises(ValueError):
+            seq()
+
+    def test_node_ids_unique(self):
+        prog = parse("skip; skip; skip")
+        ids = [c.node_id for c in labeled_commands(prog)]
+        assert len(set(ids)) == 3
+
+    def test_vars1_definitions(self):
+        # Sec. 3.6: guard-only for compound commands.
+        w = parse("while x > 0 do { y := z } [L,L]")
+        assert w.vars1() == {"x"}
+        a = parse("x := y + z [L,L]")
+        assert a.vars1() == {"x", "y", "z"}
+        s = parse("sleep(e) [L,L]")
+        assert s.vars1() == {"e"}
+        m = parse("mitigate(b, H) { y := z }")
+        assert m.vars1() == {"b"}
+        i = parse("if c then { y := z } else { skip } [L,L]")
+        assert i.vars1() == {"c"}
+        assert parse("skip").vars1() == frozenset()
+
+    def test_ast_equal_ignores_node_ids(self):
+        a = parse("x := 1 [L,L]")
+        b = parse("x := 1 [L,L]")
+        assert a.node_id != b.node_id
+        assert ast_equal(a, b)
+
+    def test_ast_equal_distinguishes_labels(self):
+        assert not ast_equal(parse("skip [L,L]"), parse("skip [L,H]"))
+
+
+class TestPowersetLabels:
+    """Brace-set level names ({a,b}) in source text."""
+
+    def setup_method(self):
+        from repro.lattice import powerset
+
+        self.lat = powerset(["a", "b"])
+
+    def test_annotation(self):
+        cmd = parse("x := 1 [{a},{a,b}]", self.lat)
+        assert cmd.read_label.name == "{a}"
+        assert cmd.write_label.name == "{a,b}"
+
+    def test_empty_set_is_bottom(self):
+        cmd = parse("x := 1 [{},{}]", self.lat)
+        assert cmd.read_label == self.lat.bottom
+
+    def test_mitigate_level(self):
+        cmd = parse("mitigate(1, {a,b}) { skip }", self.lat)
+        assert cmd.level == self.lat.top
+
+    def test_unordered_spelling_normalized(self):
+        cmd = parse("x := 1 [{b,a},{b,a}]", self.lat)
+        assert cmd.read_label.name == "{a,b}"
+
+    def test_pretty_round_trip(self):
+        from repro.lang import ast_equal, pretty
+
+        cmd = parse("mitigate(1, {a,b}) { x := 1 [{a},{a,b}] } [{},{}]",
+                    self.lat)
+        again = parse(pretty(cmd), self.lat)
+        assert ast_equal(cmd, again)
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(ParseError, match="unknown security level"):
+            parse("x := 1 [{z},{z}]", self.lat)
+
+    def test_malformed_braces(self):
+        with pytest.raises(ParseError):
+            parse("mitigate(1, {a,) { skip }", self.lat)
+
+    def test_array_read_still_works_alongside(self):
+        # {..} labels must not confuse the array/annotation lookahead.
+        cmd = parse("x := t[i] [{a},{a}]", self.lat)
+        assert cmd.read_label.name == "{a}"
+        assert isinstance(cmd.expr, ArrayRead)

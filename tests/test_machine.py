@@ -1,0 +1,164 @@
+"""Unit tests for memory, equivalence relations, and address layout."""
+
+import pytest
+
+from repro.lang import parse
+from repro.lattice import chain, two_point
+from repro.machine import (
+    AccessTrace,
+    DataAccess,
+    INSTR_BYTES,
+    Layout,
+    Memory,
+    MemoryError_,
+    WORD_BYTES,
+    equivalent,
+    memories_agreeing_on,
+    projected_equivalent,
+)
+
+
+class TestMemory:
+    def test_scalars(self):
+        m = Memory({"x": 1, "y": 2})
+        assert m.read("x") == 1
+        m.write("x", 5)
+        assert m.read("x") == 5
+
+    def test_arrays(self):
+        m = Memory({"a": [1, 2, 3]})
+        assert m.array_length("a") == 3
+        assert m.read_elem("a", 1) == 2
+        m.write_elem("a", 1, 9)
+        assert m.read_elem("a", 1) == 9
+
+    def test_bool_becomes_int(self):
+        m = Memory({"x": True})
+        assert m.read("x") == 1
+
+    def test_undeclared_scalar(self):
+        with pytest.raises(MemoryError_):
+            Memory({}).read("x")
+        with pytest.raises(MemoryError_):
+            Memory({}).write("x", 1)
+
+    def test_undeclared_array(self):
+        with pytest.raises(MemoryError_):
+            Memory({"x": 1}).read_elem("x", 0)
+
+    def test_out_of_bounds(self):
+        m = Memory({"a": [1]})
+        with pytest.raises(MemoryError_):
+            m.read_elem("a", 1)
+        with pytest.raises(MemoryError_):
+            m.write_elem("a", -1, 0)
+
+    def test_copy_is_deep(self):
+        m = Memory({"a": [1, 2], "x": 0})
+        c = m.copy()
+        c.write_elem("a", 0, 99)
+        c.write("x", 7)
+        assert m.read_elem("a", 0) == 1
+        assert m.read("x") == 0
+
+    def test_equality_and_hash(self):
+        m1 = Memory({"x": 1, "a": [2]})
+        m2 = Memory({"x": 1, "a": [2]})
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+        m2.write("x", 2)
+        assert m1 != m2
+
+    def test_names_sorted(self):
+        m = Memory({"z": 1, "a": [1], "b": 2})
+        assert m.names() == ("b", "z", "a")
+
+    def test_value_of(self):
+        m = Memory({"x": 1, "a": [2, 3]})
+        assert m.value_of("x") == 1
+        assert m.value_of("a") == (2, 3)
+
+
+class TestEquivalence:
+    def setup_method(self):
+        self.lat = chain(("L", "M", "H"))
+        self.gamma = {
+            "l": self.lat["L"],
+            "m": self.lat["M"],
+            "h": self.lat["H"],
+        }
+
+    def test_equivalent_at_level(self):
+        m1 = Memory({"l": 1, "m": 2, "h": 3})
+        m2 = Memory({"l": 1, "m": 2, "h": 99})
+        assert equivalent(m1, m2, self.gamma, self.lat["M"])
+        assert not equivalent(m1, m2, self.gamma, self.lat["H"])
+
+    def test_equivalent_includes_below(self):
+        m1 = Memory({"l": 1, "m": 2, "h": 3})
+        m2 = Memory({"l": 9, "m": 2, "h": 3})
+        assert not equivalent(m1, m2, self.gamma, self.lat["M"])
+
+    def test_projected_exact_level_only(self):
+        m1 = Memory({"l": 1, "m": 2, "h": 3})
+        m2 = Memory({"l": 9, "m": 2, "h": 99})
+        assert projected_equivalent(m1, m2, self.gamma, self.lat["M"])
+        assert not projected_equivalent(m1, m2, self.gamma, self.lat["L"])
+
+    def test_missing_label_raises(self):
+        m1 = Memory({"q": 1})
+        m2 = Memory({"q": 1})
+        with pytest.raises(KeyError):
+            equivalent(m1, m2, self.gamma, self.lat["L"])
+
+    def test_agreeing_on(self):
+        m1 = Memory({"x": 1, "y": 2})
+        m2 = Memory({"x": 1, "y": 3})
+        assert memories_agreeing_on(m1, m2, ["x"])
+        assert not memories_agreeing_on(m1, m2, ["x", "y"])
+
+
+class TestLayout:
+    def test_scalar_addresses_word_spaced(self):
+        m = Memory({"a": 0, "b": 0, "c": 0})
+        layout = Layout.build(parse("skip"), m)
+        addrs = sorted(layout.var_addr.values())
+        assert addrs[1] - addrs[0] == WORD_BYTES
+        assert addrs[2] - addrs[1] == WORD_BYTES
+
+    def test_array_contiguous_after_scalars(self):
+        m = Memory({"x": 0, "arr": [0] * 4})
+        layout = Layout.build(parse("skip"), m)
+        assert layout.array_addr["arr"] == layout.var_addr["x"] + WORD_BYTES
+        assert layout.array_len["arr"] == 4
+
+    def test_element_addresses(self):
+        m = Memory({"arr": [0] * 4})
+        layout = Layout.build(parse("skip"), m)
+        base = layout.array_addr["arr"]
+        assert layout.data_address(DataAccess("arr", 2)) == base + 2 * WORD_BYTES
+
+    def test_instruction_slots_preorder(self):
+        prog = parse("skip; x := 1; skip")
+        layout = Layout.build(prog, Memory({"x": 0}))
+        addrs = sorted(layout.instr_addr.values())
+        assert addrs[1] - addrs[0] == INSTR_BYTES
+
+    def test_layout_is_value_independent(self):
+        prog = parse("x := 1")
+        l1 = Layout.build(prog, Memory({"x": 0, "a": [1, 2]}))
+        l2 = Layout.build(prog, Memory({"x": 77, "a": [9, 9]}))
+        assert l1.var_addr == l2.var_addr
+        assert l1.array_addr == l2.array_addr
+
+    def test_unknown_name(self):
+        layout = Layout.build(parse("skip"), Memory({}))
+        with pytest.raises(KeyError):
+            layout.data_address(DataAccess("nope"))
+        with pytest.raises(KeyError):
+            layout.instruction_address(123456)
+
+    def test_access_trace_frozen(self):
+        t = AccessTrace(instruction=1, reads=(2,), writes=(3,))
+        with pytest.raises(AttributeError):
+            t.instruction = 5

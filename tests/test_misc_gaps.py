@@ -1,0 +1,118 @@
+"""Remaining corner coverage: CLI on custom lattices, branch-enabled runs
+through the public API, powerset labels end to end, and negative spaces."""
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.hardware import (
+    BranchPredictorParams,
+    MachineParams,
+    PartitionedHardware,
+)
+from repro.lattice import powerset
+from repro.machine import Memory
+from repro.semantics import execute
+from repro.typesystem import SecurityEnvironment, typecheck
+
+
+class TestCliCustomLattices:
+    def test_fix_on_three_level_chain(self, tmp_path, capsys):
+        path = tmp_path / "p.tl"
+        path.write_text("sleep(m); l := 1\n")
+        rc = main(["fix", str(path), "--gamma", "m=M,l=L",
+                   "--levels", "L,M,H"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mitigate(1, M)" in out  # minimal level, not H
+
+    def test_contract_on_chain(self, capsys):
+        rc = main(["contract", "partitioned", "--levels", "L,M,H",
+                   "--trials", "3"])
+        assert rc == 0
+
+    def test_run_reports_steps(self, tmp_path, capsys):
+        path = tmp_path / "p.tl"
+        path.write_text("x := 1; y := x + 1\n")
+        rc = main(["run", str(path), "--gamma", "x=L,y=L",
+                   "--set", "x=0", "--set", "y=0", "--hardware", "null"])
+        assert rc == 0
+        assert "steps" in capsys.readouterr().out
+
+
+class TestBranchPredictorViaApi:
+    def test_compiled_run_with_predictor(self):
+        params = MachineParams(branch=BranchPredictorParams(entries=32,
+                                                            penalty=3))
+        cp = api.compile_program(
+            "i := 6; while i > 0 do { i := i - 1 }",
+            gamma={"i": "L"},
+        )
+        with_bp = cp.run({"i": 0}, hardware="partitioned", params=params)
+        without = cp.run({"i": 0}, hardware="partitioned")
+        assert with_bp.time != without.time  # penalties materialized
+        assert with_bp.memory == without.memory  # semantics unchanged
+
+
+class TestPowersetEndToEnd:
+    def test_program_with_brace_labels_runs(self):
+        lat = powerset(["a", "b"])
+        cp = api.compile_program(
+            "pub := 1 [{},{}]; "
+            "mitigate(4, {a,b}) { sleep(sa) [{a},{a}] } [{},{}]; "
+            "pub := 2 [{},{}]",
+            gamma={"pub": "{}", "sa": "{a}"},
+            lattice=lat, infer=False,
+        )
+        result = cp.run({"pub": 0, "sa": 5}, hardware="partitioned")
+        assert result.memory.read("pub") == 2
+        assert result.mitigations[0].level == lat["{a,b}"]
+
+    def test_partitioned_hardware_per_subset(self):
+        lat = powerset(["a", "b"])
+        env = PartitionedHardware(lat)
+        assert set(env.partitions) == set(lat.levels())
+
+
+class TestNegativeSpaces:
+    def test_gamma_must_cover_program(self):
+        from repro.typesystem import UnboundVariable
+
+        with pytest.raises(UnboundVariable):
+            api.compile_program("mystery := 1", gamma={})
+
+    def test_label_from_wrong_lattice_rejected(self):
+        from repro.lattice import two_point
+
+        other = two_point()
+        with pytest.raises(ValueError, match="different lattice"):
+            SecurityEnvironment(two_point(), {"x": other["L"]})
+
+    def test_execute_requires_env_lattice_consistency(self):
+        # Labels from a foreign lattice surface as LatticeError during the
+        # hardware's flows_to checks.
+        from repro.lang import parse
+        from repro.lattice import LatticeError, two_point
+        from repro.hardware import tiny_machine
+
+        program = parse("x := 1 [L,L]")  # DEFAULT_LATTICE labels
+        env = PartitionedHardware(two_point(), tiny_machine())  # foreign
+        with pytest.raises((LatticeError, KeyError)):
+            execute(program, Memory({"x": 0}), env)
+
+    def test_mitigate_on_bottom_level_is_pointless_but_legal(self):
+        # lev = L bounds nothing above L; the body must stay public.
+        cp = api.compile_program(
+            "mitigate(4, L) { l := 1 }", gamma={"l": "L"}
+        )
+        assert cp.typing.mitigate_level[
+            next(iter(cp.typing.mitigate_level))
+        ].name == "L"
+
+    def test_mitigate_level_too_low_rejected(self):
+        from repro.typesystem import TypingError
+
+        with pytest.raises(TypingError, match="mitigate level"):
+            api.compile_program(
+                "mitigate(4, L) { sleep(h) }", gamma={"h": "H", "l": "L"}
+            )

@@ -1,0 +1,90 @@
+"""Unit tests for the predictive-mitigation runtime (schemes, policies)."""
+
+import pytest
+
+from repro.lang import DEFAULT_LATTICE
+from repro.lattice import chain
+from repro.semantics import DoublingScheme, MitigationState, PolynomialScheme
+
+LAT = DEFAULT_LATTICE
+L, H = LAT["L"], LAT["H"]
+
+
+class TestDoublingScheme:
+    def test_formula(self):
+        # predict(n, l) = max(n, 1) * 2^Miss[l]
+        s = DoublingScheme()
+        assert s.predict(10, 0) == 10
+        assert s.predict(10, 3) == 80
+        assert s.predict(0, 2) == 4  # max(n,1)
+        assert s.predict(-5, 0) == 1
+
+    def test_polynomial(self):
+        s = PolynomialScheme(power=2)
+        assert s.predict(10, 0) == 10
+        assert s.predict(10, 3) == 160
+        with pytest.raises(ValueError):
+            PolynomialScheme(power=0)
+
+
+class TestSettle:
+    def test_no_miss_under_prediction(self):
+        st = MitigationState()
+        assert st.settle(100, H, elapsed=40) == 100
+        assert st.misses(H) == 0
+
+    def test_exact_boundary_is_miss(self):
+        st = MitigationState()
+        assert st.settle(100, H, elapsed=100) == 200
+        assert st.misses(H) == 1
+
+    def test_multiple_doublings(self):
+        st = MitigationState()
+        assert st.settle(10, H, elapsed=75) == 80
+        assert st.misses(H) == 3
+
+    def test_counters_monotone(self):
+        st = MitigationState()
+        st.settle(10, H, elapsed=100)
+        misses = st.misses(H)
+        st.settle(10, H, elapsed=5)
+        assert st.misses(H) == misses  # never decreases
+
+
+class TestPenaltyPolicies:
+    def test_local_policy_isolates_levels(self):
+        lat = chain(("L", "M", "H"))
+        st = MitigationState(policy="local")
+        st.settle(10, lat["H"], elapsed=100)
+        assert st.misses(lat["H"]) == 4
+        assert st.misses(lat["M"]) == 0
+        assert st.predict(10, lat["M"]) == 10
+
+    def test_global_policy_shares_counter(self):
+        lat = chain(("L", "M", "H"))
+        st = MitigationState(policy="global")
+        st.settle(10, lat["H"], elapsed=100)
+        assert st.misses(lat["M"]) == st.misses(lat["H"]) == 4
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            MitigationState(policy="exotic")
+
+
+class TestStatePlumbing:
+    def test_copy_independent(self):
+        st = MitigationState()
+        st.settle(10, H, elapsed=50)
+        twin = st.copy()
+        twin.settle(10, H, elapsed=1000)
+        assert st.misses(H) < twin.misses(H)
+
+    def test_snapshot(self):
+        st = MitigationState()
+        st.settle(10, H, elapsed=25)
+        assert st.snapshot() == {H: 2}
+
+    def test_custom_scheme_threaded(self):
+        st = MitigationState(scheme=PolynomialScheme(1))
+        assert st.settle(10, H, elapsed=25) == 30  # 10*(miss+1): 10,20,30
+        assert st.misses(H) == 2

@@ -1,0 +1,171 @@
+"""Automatic mitigate placement (typesystem.suggest)."""
+
+import random
+
+import pytest
+
+from repro.lang import DEFAULT_LATTICE, ast, mitigates, parse
+from repro.lattice import chain
+from repro.machine import Memory
+from repro.hardware import NullHardware
+from repro.semantics import run_core
+from repro.testing import GeneratorConfig, ProgramGenerator, standard_gamma
+from repro.typesystem import (
+    SecurityEnvironment,
+    UnmitigatableError,
+    auto_mitigate,
+    infer_labels,
+    is_well_typed,
+    suggest_mitigations,
+    typecheck,
+)
+
+LAT = DEFAULT_LATTICE
+
+
+def gamma(**names):
+    return SecurityEnvironment(LAT, {n: LAT[v] for n, v in names.items()})
+
+
+def repaired(src, g):
+    prog = infer_labels(parse(src), g)
+    fixed, placements = auto_mitigate(prog, g)
+    typecheck(fixed, g)  # must hold afterwards
+    return fixed, placements
+
+
+class TestBasicRepair:
+    def test_sleep_leak_wrapped(self):
+        g = gamma(h="H", l="L")
+        fixed, placements = repaired("sleep(h); l := 1", g)
+        assert len(placements) == 1
+        assert placements[0].level == LAT["H"]
+        assert len(mitigates(fixed)) == 1
+
+    def test_already_well_typed_untouched(self):
+        g = gamma(h="H", l="L")
+        fixed, placements = repaired("l := 1; h := h + 1", g)
+        assert placements == []
+        assert len(mitigates(fixed)) == 0
+
+    def test_minimal_wrap(self):
+        # Only the taint-raising suffix is wrapped; the public prefix stays
+        # outside.
+        g = gamma(h="H", l="L", g="H")
+        fixed, placements = repaired(
+            "l := 1; l := 2; while h > 0 do { h := h - 1 }; l := 3", g
+        )
+        assert len(placements) == 1
+        wrapped = placements[0].wrapped
+        assert all(not isinstance(c, ast.Assign) or c.target != "l"
+                   for c in wrapped)
+
+    def test_multiple_regions(self):
+        g = gamma(h="H", l="L", g="H")
+        fixed, placements = repaired(
+            "sleep(h); l := 1; g := h; sleep(g); l := 2", g
+        )
+        assert len(placements) == 2
+
+    def test_repair_inside_branch(self):
+        # The leak is within a (public-guard) branch body.
+        g = gamma(h="H", l="L", p="L")
+        src = "if p then { sleep(h); l := 1 } else { l := 2 }; l := 3"
+        fixed, placements = repaired(src, g)
+        assert len(placements) == 1
+
+    def test_repair_inside_loop_body(self):
+        g = gamma(h="H", l="L", n="L")
+        src = ("while n > 0 do { sleep(h); l := n; n := n - 1 };"
+               "l := 0")
+        fixed, placements = repaired(src, g)
+        assert placements  # mitigate inserted inside the loop body
+        typecheck(fixed, g)
+
+    def test_levels_minimal(self):
+        lat = chain(("L", "M", "H"))
+        g = SecurityEnvironment(lat, {"m": lat["M"], "l": lat["L"]})
+        prog = infer_labels(parse("sleep(m); l := 1", lat), g)
+        fixed, placements = auto_mitigate(prog, g)
+        assert placements[0].level == lat["M"]  # not top
+
+
+class TestUnrepairable:
+    def test_explicit_flow(self):
+        g = gamma(h="H", l="L")
+        prog = infer_labels(parse("l := h"), g)
+        with pytest.raises(UnmitigatableError):
+            auto_mitigate(prog, g)
+
+    def test_implicit_flow(self):
+        g = gamma(h="H", l="L")
+        prog = infer_labels(
+            parse("if h then { l := 1 } else { l := 2 }"), g
+        )
+        with pytest.raises(UnmitigatableError):
+            auto_mitigate(prog, g)
+
+
+class TestSemanticsPreserved:
+    def test_core_semantics_unchanged(self):
+        # mitigate is the identity under the core semantics, so the repair
+        # must not change what the program computes.
+        g = gamma(h="H", l="L", g="H")
+        src = "l := 5; while h > 0 do { g := g + h; h := h - 1 }; l := l + 1"
+        original = infer_labels(parse(src), g)
+        m1 = run_core(parse(src), Memory({"h": 4, "l": 0, "g": 0}))
+        fixed, _ = auto_mitigate(original, g)
+        m2 = run_core(fixed, Memory({"h": 4, "l": 0, "g": 0}))
+        assert m1 == m2
+
+    def test_repaired_program_runs_timed(self):
+        g = gamma(h="H", l="L")
+        fixed, _ = repaired("sleep(h); l := 1", g)
+        from repro.semantics import execute
+
+        r = execute(fixed, Memory({"h": 9, "l": 0}), NullHardware(LAT))
+        assert r.memory.read("l") == 1
+        assert r.mitigations
+
+
+class TestSuggestNonMutating:
+    def test_input_untouched(self):
+        g = gamma(h="H", l="L")
+        prog = infer_labels(parse("sleep(h); l := 1"), g)
+        before = len(mitigates(prog))
+        placements = suggest_mitigations(prog, g)
+        assert len(mitigates(prog)) == before
+        assert len(placements) == 1
+        assert "mitigate" in placements[0].describe()
+
+
+class TestRandomizedRepair:
+    def test_random_leaky_programs(self):
+        # Generate programs that interleave high work with public
+        # assignments; auto_mitigate must always repair them (the taint
+        # failures it creates are timing-induced by construction).
+        g = standard_gamma(LAT)
+        repaired_count = 0
+        for seed in range(40):
+            rng = random.Random(seed * 31337)
+            gen = ProgramGenerator(
+                g, rng,
+                GeneratorConfig(max_depth=2, max_block_length=3,
+                                allow_mitigate=False),
+            )
+            # Leaky construction: high block, then a public assignment.
+            parts = [gen.program() for _ in range(2)]
+            prog = ast.seq(
+                parts[0],
+                ast.Assign(target="l0", expr=ast.IntLit(1)),
+                parts[1],
+                ast.Assign(target="l1", expr=ast.IntLit(2)),
+            )
+            infer_labels(prog, g)
+            if is_well_typed(prog, g):
+                continue
+            fixed, placements = auto_mitigate(prog, g)
+            typecheck(fixed, g)
+            assert placements
+            repaired_count += 1
+        assert repaired_count >= 10

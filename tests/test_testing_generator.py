@@ -1,0 +1,171 @@
+"""The random-program generator itself (repro.testing)."""
+
+import random
+
+import pytest
+
+from repro.lang import DEFAULT_LATTICE, ast, labeled_commands
+from repro.lattice import chain, diamond
+from repro.semantics import run_core
+from repro.testing import GeneratorConfig, ProgramGenerator, standard_gamma
+from repro.typesystem import infer_labels, typecheck
+
+LAT = DEFAULT_LATTICE
+
+
+def make_gen(seed=0, lattice=None, **cfg):
+    lattice = lattice if lattice is not None else LAT
+    gamma = standard_gamma(lattice)
+    return ProgramGenerator(
+        gamma, random.Random(seed), GeneratorConfig(**cfg)
+    ), gamma
+
+
+class TestStandardGamma:
+    def test_names_per_level(self):
+        gamma = standard_gamma(LAT, per_level=3)
+        assert sum(1 for n in gamma if gamma[n] == LAT["L"]) == 3
+        assert sum(1 for n in gamma if gamma[n] == LAT["H"]) == 3
+
+    def test_names_lowercased(self):
+        gamma = standard_gamma(chain(("L", "M", "H")))
+        assert "m0" in gamma and "h1" in gamma
+
+    def test_powerset_names_sanitized(self):
+        from repro.lattice import powerset
+
+        gamma = standard_gamma(powerset(["a", "b"]))
+        assert all(name.isidentifier() for name in gamma)
+
+
+class TestGeneratedPrograms:
+    def test_all_terminate(self):
+        gen, gamma = make_gen(1)
+        for seed in range(50):
+            gen, gamma = make_gen(seed)
+            prog = gen.program()
+            run_core(prog, gen.memory(), max_steps=500_000)
+
+    def test_high_typability_rate(self):
+        ok = 0
+        for seed in range(100):
+            gen, gamma = make_gen(seed)
+            prog = gen.program()
+            infer_labels(prog, gamma)
+            try:
+                typecheck(prog, gamma)
+                ok += 1
+            except Exception:
+                pass
+        assert ok >= 95
+
+    def test_command_kind_coverage(self):
+        kinds = set()
+        for seed in range(60):
+            gen, _ = make_gen(seed)
+            for cmd in gen.program().walk():
+                kinds.add(type(cmd).__name__)
+        assert {"Assign", "If", "While", "Mitigate", "Skip",
+                "Sleep"} <= kinds
+
+    def test_mitigate_can_be_disabled(self):
+        for seed in range(20):
+            gen, _ = make_gen(seed, allow_mitigate=False)
+            assert not any(
+                isinstance(c, ast.Mitigate) for c in gen.program().walk()
+            )
+
+    def test_sleep_can_be_disabled(self):
+        for seed in range(20):
+            gen, _ = make_gen(seed, allow_sleep=False)
+            assert not any(
+                isinstance(c, ast.Sleep) for c in gen.program().walk()
+            )
+
+    def test_depth_bound_respected(self):
+        def depth(cmd, d=0):
+            return max(
+                [d] + [depth(s, d + (0 if isinstance(cmd, ast.Seq) else 1))
+                       for s in cmd.subcommands()]
+            )
+
+        for seed in range(20):
+            gen, _ = make_gen(seed, max_depth=2)
+            assert depth(gen.program()) <= 3  # depth budget + leaf level
+
+    def test_loop_counters_not_reassigned_in_body(self):
+        # The termination guarantee: only the canonical decrement writes
+        # the counter inside its own loop.
+        for seed in range(40):
+            gen, _ = make_gen(seed)
+            prog = gen.program()
+            for cmd in prog.walk():
+                if isinstance(cmd, ast.While):
+                    counter = cmd.cond.left.name
+                    writes = [
+                        c
+                        for c in cmd.body.walk()
+                        if isinstance(c, ast.Assign) and c.target == counter
+                    ]
+                    # Exactly one write: the trailing decrement (nested
+                    # loops may reuse a *different* counter).
+                    assert len(writes) == 1
+
+    def test_deterministic_by_seed(self):
+        g1, _ = make_gen(7)
+        g2, _ = make_gen(7)
+        from repro.lang import ast_equal
+
+        assert ast_equal(g1.program(), g2.program())
+
+
+class TestMemories:
+    def test_memory_covers_gamma(self):
+        gen, gamma = make_gen(3)
+        memory = gen.memory()
+        for name in gamma:
+            memory.read(name)
+
+    def test_memory_pair_low_equal(self):
+        lattice = chain(("L", "M", "H"))
+        gen, gamma = make_gen(5, lattice=lattice)
+        for level in lattice.levels():
+            m1, m2 = gen.memory_pair(level)
+            for name in gamma:
+                if gamma[name].flows_to(level):
+                    assert m1.read(name) == m2.read(name)
+
+    def test_memory_pair_high_varies_eventually(self):
+        gen, gamma = make_gen(11)
+        diffs = 0
+        for _ in range(10):
+            m1, m2 = gen.memory_pair(LAT["L"])
+            high = [n for n in gamma if gamma[n] == LAT["H"]]
+            if any(m1.read(n) != m2.read(n) for n in high):
+                diffs += 1
+        assert diffs > 0
+
+
+class TestExpressionGeneration:
+    def test_respects_label_cap(self):
+        gen, gamma = make_gen(9)
+        for _ in range(50):
+            expr = gen.expr(LAT["L"])
+            assert gamma.label_of_expr(expr) == LAT["L"]
+
+    def test_uncapped_can_reach_high(self):
+        gen, gamma = make_gen(13)
+        labels = {
+            gamma.label_of_expr(gen.expr(None)).name for _ in range(100)
+        }
+        assert "H" in labels
+
+
+class TestDiamondLattice:
+    def test_generator_works_on_diamond(self):
+        lattice = diamond()
+        gen, gamma = make_gen(17, lattice=lattice)
+        prog = gen.program()
+        infer_labels(prog, gamma)
+        typecheck(prog, gamma)
+        run_core(prog, gen.memory(), max_steps=500_000)

@@ -1,0 +1,265 @@
+"""Unit tests for the Fig. 4 security type system."""
+
+import pytest
+
+from repro.lang import DEFAULT_LATTICE, parse
+from repro.lattice import chain
+from repro.typesystem import (
+    MissingLabel,
+    SecurityEnvironment,
+    TypingError,
+    UnboundVariable,
+    is_well_typed,
+    typecheck,
+)
+
+LAT = DEFAULT_LATTICE
+L, H = LAT["L"], LAT["H"]
+
+
+def gamma(**names):
+    return SecurityEnvironment(LAT, {n: LAT[v] for n, v in names.items()})
+
+
+def gamma3(**names):
+    lat = chain(("L", "M", "H"))
+    return SecurityEnvironment(lat, {n: lat[v] for n, v in names.items()}), lat
+
+
+class TestExpressionTyping:
+    def test_literal_is_bottom(self):
+        g = gamma()
+        assert g.label_of_expr(parse("x := 1").expr) == L
+
+    def test_join_of_variables(self):
+        g = gamma(l="L", h="H")
+        assert g.label_of_expr(parse("x := l + h").expr) == H
+
+    def test_array_read_joins_index(self):
+        g = gamma(a="L", h="H")
+        expr = parse("x := a[h]").expr
+        assert g.label_of_expr(expr) == H
+
+    def test_unbound_variable(self):
+        g = gamma()
+        with pytest.raises(UnboundVariable):
+            g.label_of_expr(parse("x := q").expr)
+
+
+class TestAssignRule:
+    def test_low_to_low(self):
+        assert is_well_typed(parse("l := 1 [L,L]"), gamma(l="L"))
+
+    def test_low_to_high(self):
+        assert is_well_typed(parse("h := l [L,L]"), gamma(l="L", h="H"))
+
+    def test_explicit_flow_rejected(self):
+        assert not is_well_typed(parse("l := h [L,L]"), gamma(l="L", h="H"))
+
+    def test_read_label_must_flow_to_target(self):
+        # T-ASGN: lr <= Gamma(x); a high read label taints the update time.
+        assert not is_well_typed(parse("l := 1 [H,H]"), gamma(l="L"))
+        assert is_well_typed(parse("h := 1 [H,H]"), gamma(h="H"))
+
+    def test_end_label_is_target_label(self):
+        g = gamma(l="L", h="H")
+        info = typecheck(parse("h := 1 [L,H]"), g)
+        assert info.end_label == H
+
+    def test_timing_taint_blocks_public_update(self):
+        # After assigning high, the timing end-label is H; a later public
+        # assignment must be rejected (its update time leaks).
+        src = "h := 1 [L,H]; l := 2 [L,L]"
+        assert not is_well_typed(parse(src), gamma(l="L", h="H"))
+
+    def test_missing_labels(self):
+        with pytest.raises(MissingLabel):
+            typecheck(parse("l := 1"), gamma(l="L"))
+
+
+class TestImplicitFlows:
+    def test_high_guard_low_assignment_rejected(self):
+        src = "if h then { l := 1 [L,H] } else { l := 2 [L,H] } [L,H]"
+        assert not is_well_typed(parse(src), gamma(l="L", h="H"))
+
+    def test_high_guard_high_assignment_ok(self):
+        src = "if h then { g := 1 [L,H] } else { g := 2 [L,H] } [L,H]"
+        assert is_well_typed(parse(src), gamma(g="H", h="H"))
+
+    def test_pc_must_flow_to_write_label(self):
+        # Sec. 2.2's hardware implicit flow: high context, low write label.
+        src = "if h then { g := 1 [L,L] } else { skip [L,L] } [L,H]"
+        with pytest.raises(TypingError, match="pc"):
+            typecheck(parse(src), gamma(g="H", h="H"))
+
+    def test_paper_cache_example_needs_high_write_labels(self):
+        # The annotated example of Sec. 2.2: insecure with [L,L] bodies...
+        bad = ("if h1 then { h2 := l1 [L,L] } else { h2 := l2 [L,L] } [L,L];"
+               "l3 := l1 [L,L]")
+        g = gamma(h1="H", h2="H", l1="L", l2="L", l3="L")
+        assert not is_well_typed(parse(bad), g)
+        # ...and the write labels alone don't save the final public
+        # assignment, whose timing still depends on h1 (end label is H).
+        better = ("if h1 then { h2 := l1 [L,H] } else { h2 := l2 [L,H] } [L,H];"
+                  "l3 := l1 [L,L]")
+        assert not is_well_typed(parse(better), g)
+        # Dropping the trailing public assignment makes it safe.
+        safe = "if h1 then { h2 := l1 [L,H] } else { h2 := l2 [L,H] } [L,H]"
+        assert is_well_typed(parse(safe), g)
+
+
+class TestSkipSleepRules:
+    def test_skip_raises_end_by_read_label(self):
+        info = typecheck(parse("skip [H,H]"), gamma())
+        assert info.end_label == H
+
+    def test_sleep_high_duration_raises_timing(self):
+        src = "sleep(h) [H,H]; l := 1 [L,L]"
+        assert not is_well_typed(parse(src), gamma(h="H", l="L"))
+
+    def test_sleep_low_duration_fine(self):
+        src = "sleep(l) [L,L]; l := 1 [L,L]"
+        assert is_well_typed(parse(src), gamma(l="L"))
+
+
+class TestWhileRule:
+    def test_low_loop(self):
+        src = "while x > 0 do { x := x - 1 [L,L] } [L,L]"
+        assert is_well_typed(parse(src), gamma(x="L"))
+
+    def test_high_guard_loop_allowed(self):
+        # Unlike Agat-style transformation, loops on secrets are permitted.
+        src = "while h > 0 do { h := h - 1 [H,H] } [L,H]"
+        assert is_well_typed(parse(src), gamma(h="H"))
+
+    def test_high_loop_then_public_update_rejected(self):
+        src = ("while h > 0 do { h := h - 1 [H,H] } [L,H];"
+               "l := 1 [L,L]")
+        assert not is_well_typed(parse(src), gamma(h="H", l="L"))
+
+    def test_fixpoint_propagates_body_timing(self):
+        # Guard is low but the body reads high timing: the loop's end label
+        # must rise to H, so a later public assignment is rejected.
+        src = ("while x > 0 do { x := x - 1 [L,L]; h := h + 1 [L,H] } [L,L];"
+               "l := 1 [L,L]")
+        assert not is_well_typed(parse(src), gamma(x="L", h="H", l="L"))
+        # Hint check: counter updates in such a loop must be at H, since
+        # T-ASGN demands the timing start-label flow to the target.
+        src2 = ("while x > 0 do { h := h + 1 [L,H]; x := x - 1 [L,L] } [L,L]")
+        assert not is_well_typed(parse(src2), gamma(x="L", h="H"))
+
+
+class TestMitigateRule:
+    def test_resets_timing_label(self):
+        src = "mitigate(1, H) { sleep(h) [H,H] } [L,L]; l := 1 [L,L]"
+        assert is_well_typed(parse(src), gamma(h="H", l="L"))
+
+    def test_level_must_bound_body(self):
+        lat = chain(("L", "M", "H"))
+        g = SecurityEnvironment(lat, {"h": lat["H"], "l": lat["L"]})
+        src = "mitigate(1, M) { sleep(h) [H,H] } [L,L]"
+        with pytest.raises(TypingError, match="mitigate level"):
+            typecheck(parse(src, lat), g)
+
+    def test_budget_label_propagates(self):
+        # A high budget expression leaks through the mitigate's *own* time.
+        src = "mitigate(h, H) { skip [L,L] } [L,L]; l := 1 [L,L]"
+        assert not is_well_typed(parse(src), gamma(h="H", l="L"))
+
+    def test_paper_example_sleep_h(self):
+        # Sec. 2.3: mitigate (1, H) { sleep(h) }.
+        src = "mitigate(1, H) { sleep(h) [H,H] } [L,L]"
+        assert is_well_typed(parse(src), gamma(h="H"))
+
+    def test_mitigate_pc_recorded(self):
+        src = ("mitigate@outer (1, H) { if h then {"
+               " mitigate@inner (1, H) { h := h + 1 [H,H] } [H,H]"
+               " } else { skip [H,H] } [H,H] } [L,L]")
+        info = typecheck(parse(src), gamma(h="H"))
+        # Sec. 6.3's example: pc(M1) = L, pc(M2) = H.
+        assert info.pc_of("outer") == L
+        assert info.pc_of("inner") == H
+        assert info.level_of("outer") == H
+
+    def test_pc_not_raised_in_body(self):
+        # T-MTG types the body under the same pc.
+        src = "mitigate(1, H) { l := 1 [L,L] } [L,L]"
+        assert is_well_typed(parse(src), gamma(l="L"))
+
+
+class TestArrayExtension:
+    def test_low_index_ok(self):
+        src = "x := a[i] [L,L]"
+        assert is_well_typed(parse(src), gamma(x="L", a="L", i="L"))
+
+    def test_high_index_needs_high_write_label(self):
+        # The element address leaks the index into cache state at lw.
+        g = gamma(x="H", a="L", h="H")
+        assert not is_well_typed(parse("x := a[h] [H,L]"), g)
+        assert is_well_typed(parse("x := a[h] [H,H]"), g)
+
+    def test_high_index_store(self):
+        g = gamma(a="H", h="H")
+        assert not is_well_typed(parse("a[h] := 1 [L,L]"), g)
+        assert is_well_typed(parse("a[h] := 1 [H,H]"), g)
+
+    def test_index_label_flows_into_value(self):
+        # Reading a[h] yields an H value even if the array is L.
+        src = "l := a[h] [H,H]"
+        assert not is_well_typed(parse(src), gamma(l="L", a="L", h="H"))
+
+    def test_guard_index_constraint(self):
+        src = "if a[h] then { g := 1 [H,H] } else { skip [H,H] } [H,L]"
+        g = gamma(a="L", h="H", g="H")
+        assert not is_well_typed(parse(src), g)
+
+
+class TestSideCondition:
+    def test_require_cache_labels(self):
+        prog = parse("h := 1 [L,H]")
+        g = gamma(h="H")
+        assert is_well_typed(prog, g)
+        with pytest.raises(TypingError, match="lr = lw"):
+            typecheck(prog, g, require_cache_labels=True)
+
+
+class TestMultilevel:
+    def test_three_level_flows(self):
+        g, lat = gamma3(l="L", m="M", h="H")
+        assert is_well_typed(parse("m := l [L,L]", lat), g)
+        assert is_well_typed(parse("h := m [L,L]", lat), g)
+        assert not is_well_typed(parse("m := h [L,L]", lat), g)
+
+    def test_timing_taint_partial_order(self):
+        g, lat = gamma3(l="L", m="M", h="H")
+        # M-tainted timing can flow into H but not back into L.
+        src_ok = "m := m + 1 [M,M]; h := 1 [M,H]"
+        assert is_well_typed(parse(src_ok, lat), g)
+        src_bad = "m := m + 1 [M,M]; l := 1 [L,L]"
+        assert not is_well_typed(parse(src_bad, lat), g)
+
+    def test_node_contexts_recorded(self):
+        g, lat = gamma3(l="L", m="M", h="H")
+        prog = parse("m := l [L,M]", lat)
+        info = typecheck(prog, g)
+        ctx = info.node_contexts[prog.node_id]
+        assert ctx.pc == lat["L"]
+        assert ctx.end == lat["M"]
+
+
+class TestErrorQuality:
+    def test_mentions_rule(self):
+        with pytest.raises(TypingError) as exc:
+            typecheck(parse("l := h [L,L]"), gamma(l="L", h="H"))
+        assert "T-ASGN" in str(exc.value)
+
+    def test_mentions_mitigate_hint(self):
+        src = "sleep(h) [H,H]; l := 1 [L,L]"
+        with pytest.raises(TypingError) as exc:
+            typecheck(parse(src), gamma(h="H", l="L"))
+        assert "mitigate" in str(exc.value)
+
+    def test_mentions_node(self):
+        with pytest.raises(TypingError) as exc:
+            typecheck(parse("l := h [L,L]"), gamma(l="L", h="H"))
+        assert "node" in str(exc.value)
