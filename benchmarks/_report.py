@@ -10,10 +10,24 @@ artifacts.
 from __future__ import annotations
 
 import io
+import json
 import os
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_metrics(name: str, payload: Mapping[str, Any]) -> str:
+    """Write a telemetry JSON document (``repro.telemetry/1``) next to the
+    text reports as ``benchmarks/results/<name>_metrics.json``; returns the
+    path.  ``payload`` is typically
+    ``MetricsRegistry.as_dict(leakage=meter.as_dict())``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}_metrics.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
 
 
 class Report:

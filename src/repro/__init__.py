@@ -17,11 +17,12 @@ Entry points:
 * :mod:`repro.hardware` -- machine environments and contract checkers;
 * :mod:`repro.typesystem` -- the Fig. 4 checker and label inference;
 * :mod:`repro.quantitative` -- Definitions 1-2, Theorem 2, Sec. 7 bounds;
+* :mod:`repro.telemetry` -- runtime telemetry and dynamic leakage accounting;
 * :mod:`repro.apps` -- the Sec. 8 case studies;
 * :mod:`repro.attacks` -- the timing adversaries the paper defends against.
 """
 
-from . import api
+from . import api, telemetry
 from .api import CompiledProgram, compile_program
 from .lattice import Label, Lattice, chain, diamond, powerset, two_point
 from .machine.memory import Memory
@@ -38,6 +39,7 @@ __all__ = [
     "compile_program",
     "diamond",
     "powerset",
+    "telemetry",
     "two_point",
     "__version__",
 ]

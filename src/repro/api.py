@@ -34,6 +34,7 @@ from .machine.layout import Layout
 from .machine.memory import Memory, ValueSpec
 from .semantics.full import ExecutionResult, execute
 from .semantics.mitigation import MitigationState
+from .telemetry.recorder import TraceRecorder
 from .typesystem.environment import SecurityEnvironment
 from .typesystem.inference import infer_labels
 from .typesystem.typing import TypingInfo, typecheck
@@ -70,13 +71,16 @@ class CompiledProgram:
         mitigation: Optional[MitigationState] = None,
         layout: Optional[Layout] = None,
         max_steps: int = 10_000_000,
+        recorder: Optional[TraceRecorder] = None,
     ) -> ExecutionResult:
         """Execute under the full semantics.
 
         ``memory`` may be a mapping (scalars to ints, arrays to sequences);
         ``hardware`` a model name (``null``, ``nopar``/``standard``,
         ``nofill``, ``partitioned``) or a ready environment instance, which
-        is used as-is (and mutated).
+        is used as-is (and mutated).  ``recorder`` attaches runtime
+        telemetry (see :mod:`repro.telemetry`); omitted, the zero-overhead
+        null recorder is used.
         """
         if not isinstance(memory, Memory):
             memory = Memory(memory)
@@ -90,6 +94,7 @@ class CompiledProgram:
             mitigation=mitigation,
             mitigate_pc=self.typing.mitigate_pc,
             max_steps=max_steps,
+            recorder=recorder,
         )
 
 

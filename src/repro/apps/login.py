@@ -47,6 +47,7 @@ from ..machine.memory import Memory
 from ..hardware import MachineParams, make_hardware
 from ..semantics.full import ExecutionResult, execute
 from ..semantics.mitigation import MitigationState
+from ..telemetry.recorder import TraceRecorder
 from ..typesystem.environment import SecurityEnvironment
 from ..typesystem.inference import infer_labels
 from ..typesystem.typing import TypingInfo, typecheck
@@ -181,13 +182,15 @@ class LoginSystem:
         params: Optional[MachineParams] = None,
         mitigation: Optional[MitigationState] = None,
         max_steps: int = 10_000_000,
+        recorder: Optional[TraceRecorder] = None,
     ) -> ExecutionResult:
         """One login attempt; ``result.time`` is the paper's login time.
 
         Pass a shared :class:`MitigationState` to model a long-running
         server: misprediction counters persist across requests, which is
         what makes the Fig. 7 mitigated curves coincide after the first
-        inflation.
+        inflation.  A shared ``recorder`` likewise aggregates telemetry
+        across a whole attempt stream.
         """
         environment = make_hardware(hardware, self.lattice, params)
         mitigate_pc = self.typing.mitigate_pc if self.typing else {}
@@ -200,6 +203,7 @@ class LoginSystem:
             ),
             mitigate_pc=mitigate_pc,
             max_steps=max_steps,
+            recorder=recorder,
         )
 
     def calibrate_budget(
@@ -352,11 +356,13 @@ def login_attempt_times(
     hardware: str = "partitioned",
     params: Optional[MachineParams] = None,
     correct_password: bool = True,
+    recorder: Optional[TraceRecorder] = None,
 ) -> List[int]:
     """Fig. 7's measurement: login time for each attempt in the stream.
 
     A single mitigation state persists across attempts, modeling the
-    long-running server the paper measures.
+    long-running server the paper measures.  An optional ``recorder``
+    observes every attempt (one telemetry "run" per login).
     """
     times = []
     mitigation = MitigationState()
@@ -369,6 +375,7 @@ def login_attempt_times(
         result = system.run(
             credentials, username, password,
             hardware=hardware, params=params, mitigation=mitigation,
+            recorder=recorder,
         )
         times.append(result.time)
     return times

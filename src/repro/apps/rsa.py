@@ -61,6 +61,7 @@ from ..machine.memory import Memory
 from ..hardware import MachineParams, make_hardware
 from ..semantics.full import ExecutionResult, execute
 from ..semantics.mitigation import MitigationState
+from ..telemetry.recorder import TraceRecorder
 from ..typesystem.environment import SecurityEnvironment
 from ..typesystem.inference import infer_labels
 from ..typesystem.typing import TypingInfo, typecheck
@@ -201,6 +202,7 @@ class RsaSystem:
         params: Optional[MachineParams] = None,
         mitigation: Optional[MitigationState] = None,
         max_steps: int = 50_000_000,
+        recorder: Optional[TraceRecorder] = None,
     ) -> ExecutionResult:
         """Decrypt one message; ``result.time`` is the decryption time."""
         environment = make_hardware(hardware, self.lattice, params)
@@ -214,6 +216,7 @@ class RsaSystem:
             ),
             mitigate_pc=mitigate_pc,
             max_steps=max_steps,
+            recorder=recorder,
         )
 
     def decrypt_and_check(
@@ -289,15 +292,19 @@ def decryption_times(
     messages: List[List[int]],
     hardware: str = "partitioned",
     params: Optional[MachineParams] = None,
+    recorder: Optional[TraceRecorder] = None,
 ) -> List[List[int]]:
     """Fig. 8's measurement: per-key series of decryption times over a
-    shared message stream (each message is encrypted under each key)."""
+    shared message stream (each message is encrypted under each key).  An
+    optional ``recorder`` observes every decryption (one telemetry "run"
+    per message and key)."""
     out = []
     for key in keys:
         series = []
         for message in messages:
             cipher = encrypt_blocks(message, key)
-            result = system.run(key, cipher, hardware=hardware, params=params)
+            result = system.run(key, cipher, hardware=hardware,
+                                params=params, recorder=recorder)
             series.append(result.time)
         out.append(series)
     return out

@@ -57,6 +57,7 @@ from .quantitative import (
     secret_variants,
     timing_variations,
 )
+from .telemetry import DynamicLeakageMeter, RecordingTraceRecorder
 from .typesystem import (
     SecurityEnvironment,
     TypingError,
@@ -156,13 +157,24 @@ def cmd_fix(args) -> int:
 
 
 def cmd_run(args) -> int:
-    """`run`: execute on a hardware model; print time/events/mitigations."""
+    """`run`: execute on a hardware model; print time/events/mitigations.
+
+    ``--trace`` prints a telemetry summary; ``--metrics-out FILE`` writes
+    the full telemetry JSON document (schema ``repro.telemetry/1``,
+    see docs/TELEMETRY.md), including the dynamic Theorem 2 accounting.
+    """
     compiled = _compiled(args, check=not args.unchecked)
+    recorder = None
+    meter = None
+    if args.trace or args.metrics_out:
+        meter = DynamicLeakageMeter(compiled.lattice)
+        recorder = RecordingTraceRecorder(meter=meter)
     result = compiled.run(
         _memory(args.set),
         hardware=args.hardware,
         params=paper_machine(),
         max_steps=args.max_steps,
+        recorder=recorder,
     )
     print(f"time: {result.time} cycles ({result.steps} steps)")
     if result.events:
@@ -176,6 +188,23 @@ def cmd_run(args) -> int:
                   f"(level {record.level}, done at {record.end_time})")
     for name in sorted(compiled.gamma):
         print(f"final {name} = {result.memory.value_of(name)}")
+    if recorder is not None:
+        if args.trace:
+            print("telemetry:")
+            for line in recorder.registry.summary_lines():
+                print(f"  {line}")
+            print(
+                f"  leakage: {meter.observed_variations} observed "
+                f"variation(s) ({meter.observed_bits:.3f} bits) <= "
+                f"static bound {meter.static_bound_bits():.3f} bits: "
+                f"{'ok' if meter.holds() else 'VIOLATED'}"
+            )
+        if args.metrics_out:
+            recorder.registry.write(args.metrics_out,
+                                    leakage=meter.as_dict())
+            print(f"metrics written to {args.metrics_out}")
+        if not meter.holds():
+            return 1
     return 0
 
 
@@ -276,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--unchecked", action="store_true",
                    help="run even if the program is ill-typed")
     p.add_argument("--max-steps", type=int, default=10_000_000)
+    p.add_argument("--trace", action="store_true",
+                   help="print a runtime-telemetry summary after the run")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="write telemetry metrics JSON "
+                        "(schema repro.telemetry/1) to FILE")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("leakage", help="measure leakage over a secret range")

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Hashable, Tuple
 
+from ..telemetry.recorder import NULL_RECORDER
 from .branch import BranchPredictor
 from .cache import Cache
 from .params import MachineParams
@@ -33,6 +34,10 @@ class Hierarchy:
 
     def __init__(self, params: MachineParams):
         self.params = params
+        #: Telemetry seam: hit/miss classifications go here when an active
+        #: recorder is attached (see :mod:`repro.telemetry`).  Clones start
+        #: detached so pairwise contract checks never double-record.
+        self.recorder = NULL_RECORDER
         self.l1_data = Cache(params.l1_data)
         self.l2_data = Cache(params.l2_data)
         self.l1_inst = Cache(params.l1_inst)
@@ -53,9 +58,14 @@ class Hierarchy:
         address: int,
         fill: bool,
         promote: bool,
+        side: str = "d",
     ) -> int:
+        recording = self.recorder.active
         cost = 0
-        if tlb.lookup(address):
+        tlb_hit = tlb.lookup(address)
+        if recording:
+            self.recorder.on_cache_access(f"{side}tlb", tlb_hit)
+        if tlb_hit:
             if promote:
                 tlb.touch(address)
         else:
@@ -63,12 +73,18 @@ class Hierarchy:
             if fill:
                 tlb.touch(address)
         cost += l1.params.latency
-        if l1.lookup(address):
+        l1_hit = l1.lookup(address)
+        if recording:
+            self.recorder.on_cache_access(f"l1{side}", l1_hit)
+        if l1_hit:
             if promote:
                 l1.touch(address)
             return cost
         cost += l2.params.latency
-        if l2.lookup(address):
+        l2_hit = l2.lookup(address)
+        if recording:
+            self.recorder.on_cache_access(f"l2{side}", l2_hit)
+        if l2_hit:
             if promote:
                 l2.touch(address)
             if fill:
@@ -86,20 +102,27 @@ class Hierarchy:
         predictor component is disabled); optionally trains the counter."""
         if self.branch is None:
             return 0
+        if self.recorder.active:
+            # predict() is pure, so classifying before resolving is safe.
+            self.recorder.on_branch(
+                taken, self.branch.predict(address) != taken
+            )
         return self.branch.resolve(address, taken, train=train)
 
     def data_access(self, address: int, fill: bool = True,
                     promote: bool = True) -> int:
         """One data read or write; returns its cost in cycles."""
         return self._access(
-            self.data_tlb, self.l1_data, self.l2_data, address, fill, promote
+            self.data_tlb, self.l1_data, self.l2_data, address, fill, promote,
+            side="d",
         )
 
     def inst_fetch(self, address: int, fill: bool = True,
                    promote: bool = True) -> int:
         """One instruction fetch; returns its cost in cycles."""
         return self._access(
-            self.inst_tlb, self.l1_inst, self.l2_inst, address, fill, promote
+            self.inst_tlb, self.l1_inst, self.l2_inst, address, fill, promote,
+            side="i",
         )
 
     # -- worst-case costs (used by the partitioned design's bypass path) --------

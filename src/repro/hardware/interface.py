@@ -37,6 +37,7 @@ from typing import Hashable, Iterable
 
 from ..lattice import Label, Lattice
 from ..machine.layout import AccessTrace
+from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 
 
 class StepKind(enum.Enum):
@@ -55,6 +56,16 @@ class MachineEnvironment(ABC):
 
     def __init__(self, lattice: Lattice):
         self.lattice = lattice
+        #: Telemetry seam (see :mod:`repro.telemetry`): models report
+        #: cache/TLB/branch hit-miss classifications here, guarded by
+        #: ``recorder.active`` so the default null recorder costs nothing.
+        self.recorder: TraceRecorder = NULL_RECORDER
+
+    def attach_recorder(self, recorder: TraceRecorder) -> None:
+        """Attach a trace recorder.  Models with internal components that
+        classify hits and misses themselves override this to propagate the
+        recorder (recording is passive: attaching never changes timing)."""
+        self.recorder = recorder
 
     @abstractmethod
     def step(

@@ -58,6 +58,13 @@ class PartitionedHardware(MachineEnvironment):
             level: Hierarchy(self.params) for level in lattice.levels()
         }
 
+    def attach_recorder(self, recorder) -> None:
+        """Propagate the telemetry recorder to every partition (the
+        per-level branch predictors classify inside the hierarchy)."""
+        super().attach_recorder(recorder)
+        for hierarchy in self.partitions.values():
+            hierarchy.recorder = recorder
+
     # -- the partitioned access algorithm ------------------------------------
 
     def _partitioned_access(
@@ -77,6 +84,10 @@ class PartitionedHardware(MachineEnvironment):
             l1_of = lambda h: h.l1_data  # noqa: E731
             l2_of = lambda h: h.l2_data  # noqa: E731
 
+        recording = self.recorder.active
+        tlb_name = "itlb" if instruction else "dtlb"
+        cache_side = "i" if instruction else "d"
+
         cost = 0
         # TLB: hit in any searched partition is free; a miss walks the page
         # table and installs into the own-level partition.
@@ -85,6 +96,8 @@ class PartitionedHardware(MachineEnvironment):
             if tlb_of(self.partitions[p]).lookup(address):
                 tlb_hit = p
                 break
+        if recording:
+            self.recorder.on_cache_access(tlb_name, tlb_hit is not None)
         if tlb_hit is None:
             cost += tlb_of(own).params.miss_penalty
             tlb_of(own).touch(address)
@@ -101,6 +114,8 @@ class PartitionedHardware(MachineEnvironment):
             if l1_of(self.partitions[p]).lookup(address):
                 l1_hit = p
                 break
+        if recording:
+            self.recorder.on_cache_access(f"l1{cache_side}", l1_hit is not None)
         if l1_hit is not None:
             if l1_hit == label:
                 l1_of(own).touch(address)
@@ -113,6 +128,8 @@ class PartitionedHardware(MachineEnvironment):
             if l2_of(self.partitions[p]).lookup(address):
                 l2_hit = p
                 break
+        if recording:
+            self.recorder.on_cache_access(f"l2{cache_side}", l2_hit is not None)
         if l2_hit is not None:
             if l2_hit == label:
                 l2_of(own).touch(address)
@@ -155,6 +172,10 @@ class PartitionedHardware(MachineEnvironment):
             cost += reference.data_miss_cost() * (
                 len(trace.reads) + len(trace.writes)
             )
+            if self.recorder.active:
+                self.recorder.on_bypass(
+                    1 + len(trace.reads) + len(trace.writes)
+                )
             if trace.taken is not None and self.params.branch is not None:
                 cost += self.params.branch.penalty  # flat worst case
             return cost

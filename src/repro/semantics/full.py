@@ -41,6 +41,7 @@ from ..lattice import Label
 from ..machine.layout import AccessTrace, DataAccess, Layout
 from ..machine.memory import Memory
 from ..hardware.interface import MachineEnvironment, StepKind
+from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 from .core import EvaluationError, eval_expr_traced
 from .events import Event, MitigationRecord
 from .mitigation import MitigationState
@@ -120,12 +121,21 @@ class Interpreter:
     mitigation: Optional[MitigationState] = None
     mitigate_pc: Mapping[str, Label] = field(default_factory=dict)
     max_steps: int = 10_000_000
+    recorder: Optional[TraceRecorder] = None
 
     def __post_init__(self) -> None:
         if self.layout is None:
             self.layout = Layout.build(self.program, self.memory)
         if self.mitigation is None:
             self.mitigation = MitigationState()
+        if self.recorder is None:
+            self.recorder = NULL_RECORDER
+        if self.recorder.active:
+            # Thread the recorder through every layer that advances or
+            # explains the clock: hardware (hit/miss classification) and
+            # the mitigation runtime (Miss[l] transitions).
+            self.environment.attach_recorder(self.recorder)
+            self.mitigation.recorder = self.recorder
         self.time = 0
         self.steps = 0
         self.events: List[Event] = []
@@ -171,6 +181,8 @@ class Interpreter:
             write_label,
         )
         self.time += cost
+        if self.recorder.active:
+            self.recorder.on_step(kind, cost, self.time)
 
     # -- stepping ---------------------------------------------------------------
 
@@ -194,6 +206,8 @@ class Interpreter:
             duration, _ = eval_expr_traced(cmd.duration, self.memory)
             self._labels(cmd)  # still insist the program is annotated
             self.time += max(duration, 0)
+            if self.recorder.active:
+                self.recorder.on_sleep(max(duration, 0), self.time)
             return None
 
         if isinstance(cmd, ast.Assign):
@@ -268,6 +282,17 @@ class Interpreter:
                 pc_label=frame.pc_label,
             )
         )
+        if self.recorder.active:
+            self.recorder.on_mitigation(
+                mit_id=frame.mit_id,
+                level=frame.level,
+                estimate=frame.estimate,
+                elapsed=elapsed,
+                padded=total,
+                misses=self.mitigation.misses(frame.level),
+                pc_label=frame.pc_label,
+                end_time=self.time,
+            )
         return None
 
     # -- driving --------------------------------------------------------------------
@@ -285,7 +310,7 @@ class Interpreter:
         # Mitigate vectors are ordered by completion time; records are
         # appended at completion so they already are, but make it explicit.
         self.records.sort(key=lambda r: r.end_time)
-        return ExecutionResult(
+        result = ExecutionResult(
             memory=self.memory,
             environment=self.environment,
             time=self.time,
@@ -293,6 +318,9 @@ class Interpreter:
             mitigations=tuple(self.records),
             steps=self.steps,
         )
+        if self.recorder.active:
+            self.recorder.on_finish(result)
+        return result
 
 
 def execute(
@@ -303,11 +331,14 @@ def execute(
     mitigation: Optional[MitigationState] = None,
     mitigate_pc: Mapping[str, Label] = None,
     max_steps: int = 10_000_000,
+    recorder: Optional[TraceRecorder] = None,
 ) -> ExecutionResult:
     """Run ``program`` from ``(memory, environment, G=0)`` to completion.
 
     ``memory`` and ``environment`` are mutated; pass copies to keep the
-    originals.  See :class:`Interpreter` for the parameters.
+    originals.  ``recorder`` observes the run (see
+    :mod:`repro.telemetry`); the default null recorder records nothing and
+    costs nothing.  See :class:`Interpreter` for the other parameters.
     """
     interp = Interpreter(
         program=program,
@@ -317,5 +348,6 @@ def execute(
         mitigation=mitigation,
         mitigate_pc=dict(mitigate_pc or {}),
         max_steps=max_steps,
+        recorder=recorder,
     )
     return interp.run()

@@ -35,6 +35,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Optional
 
 from ..lattice import Label
+from ..telemetry.recorder import NULL_RECORDER
 
 
 class PredictionScheme(ABC):
@@ -95,6 +96,9 @@ class MitigationState:
         self.scheme = scheme if scheme is not None else DoublingScheme()
         self.policy = policy
         self._miss: Dict[Optional[Label], int] = {}
+        #: Telemetry seam; the interpreter swaps in an active recorder when
+        #: one is attached to the run (see :mod:`repro.telemetry`).
+        self.recorder = NULL_RECORDER
 
     def _key(self, level: Label) -> Optional[Label]:
         return level if self.policy == "local" else None
@@ -119,6 +123,8 @@ class MitigationState:
             estimate, self._miss.get(key, 0)
         ):
             self._miss[key] = self._miss.get(key, 0) + 1
+            if self.recorder.active:
+                self.recorder.on_miss_update(key, self._miss[key])
         return self.scheme.predict(estimate, self._miss.get(key, 0))
 
     def snapshot(self) -> Dict[Optional[Label], int]:

@@ -1,0 +1,41 @@
+"""Runtime telemetry and leakage accounting.
+
+Three pieces, designed to make the software/hardware timing contract
+*observable* at run time (see ``docs/TELEMETRY.md``):
+
+* :class:`~repro.telemetry.recorder.TraceRecorder` -- the passive
+  observation protocol threaded through the interpreter
+  (:mod:`repro.semantics.full`), the mitigation runtime
+  (:mod:`repro.semantics.mitigation`), and every hardware model behind the
+  :mod:`repro.hardware.interface` seam.  :data:`NULL_RECORDER` is the
+  zero-overhead default; :class:`RecordingTraceRecorder` actually records.
+* :class:`~repro.telemetry.metrics.MetricsRegistry` -- counters, gauges,
+  histograms, and ordered series with a stable JSON export
+  (schema ``repro.telemetry/1``).
+* :class:`~repro.telemetry.leakage.DynamicLeakageMeter` -- live Theorem 2
+  accounting: counts distinct observed mitigation-deadline sequences and
+  checks them against the static Sec. 7 bound.
+"""
+
+from .leakage import (
+    DynamicLeakageMeter,
+    LeakageBoundViolation,
+)
+from .metrics import SCHEMA, MetricsRegistry
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    RecordingTraceRecorder,
+    TraceRecorder,
+)
+
+__all__ = [
+    "DynamicLeakageMeter",
+    "LeakageBoundViolation",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "RecordingTraceRecorder",
+    "SCHEMA",
+    "TraceRecorder",
+]

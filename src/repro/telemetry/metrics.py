@@ -1,0 +1,201 @@
+"""Metric aggregation: counters, gauges, histograms, and JSON export.
+
+A :class:`MetricsRegistry` is the sink behind
+:class:`~repro.telemetry.recorder.RecordingTraceRecorder`.  It keeps four
+kinds of series, all keyed by dotted metric names:
+
+* **counters** -- monotone totals (``steps.total``, ``cycles.padding``,
+  ``hw.l1d.hits``);
+* **gauges** -- last-written values (``miss.H``: the current ``Miss[H]``);
+* **histograms** -- value -> occurrence-count maps (``hist.mitigation.duration``);
+* **series** -- append-only value lists for order-sensitive checks
+  (``miss_trace.H``: every value ``Miss[H]`` ever took, in order).
+
+:meth:`MetricsRegistry.as_dict` flattens everything into the JSON document
+described in ``docs/TELEMETRY.md`` (schema ``repro.telemetry/1``), with a
+derived ``timing`` section (machine/sleep/padding split, padding overhead
+ratio) so benchmark reports can embed it directly; ``benchmarks/_report.py``
+provides :func:`~benchmarks._report.write_metrics` to drop the document next
+to the text reports in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+SCHEMA = "repro.telemetry/1"
+
+
+class MetricsRegistry:
+    """Counter/gauge/histogram/series store with JSON export."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, int] = {}
+        self.histograms: Dict[str, Dict[int, int]] = {}
+        self.series: Dict[str, List[int]] = {}
+
+    # -- writing --------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: int) -> None:
+        """Set gauge ``name`` to its latest value."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: int) -> None:
+        """Record one occurrence of ``value`` in histogram ``name``."""
+        hist = self.histograms.setdefault(name, {})
+        hist[value] = hist.get(value, 0) + 1
+
+    def append_series(self, name: str, value: int) -> None:
+        """Append ``value`` to the ordered series ``name``."""
+        self.series.setdefault(name, []).append(value)
+
+    # -- reading --------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Counter value (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def gauge(self, name: str, default: int = 0) -> int:
+        """Latest gauge value."""
+        return self.gauges.get(name, default)
+
+    def prefixed(self, prefix: str) -> Dict[str, int]:
+        """All counters under ``prefix.`` with the prefix stripped."""
+        cut = len(prefix) + 1
+        return {
+            name[cut:]: value
+            for name, value in self.counters.items()
+            if name.startswith(prefix + ".")
+        }
+
+    def miss_counters(self) -> Dict[str, int]:
+        """Final per-level mitigation ``Miss`` values, by level name."""
+        return {
+            name[len("miss."):]: value
+            for name, value in self.gauges.items()
+            if name.startswith("miss.")
+        }
+
+    def machine_cycles(self) -> int:
+        """Cycles charged by the hardware (no sleep, no padding)."""
+        return self.counter("cycles.machine")
+
+    def padding_cycles(self) -> int:
+        """Total pure-padding cycles across all completed mitigations."""
+        return self.counter("cycles.padding")
+
+    def final_cycles(self) -> int:
+        """Sum of final clocks across recorded runs."""
+        return self.counter("cycles.final")
+
+    def padding_overhead_ratio(self) -> float:
+        """Padding as a fraction of the final clock (0.0 when clock is 0)."""
+        final = self.final_cycles()
+        return self.padding_cycles() / final if final else 0.0
+
+    # -- export ---------------------------------------------------------------
+
+    def as_dict(self, leakage: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The JSON document (see ``docs/TELEMETRY.md`` for the schema).
+
+        ``leakage`` is an optional pre-built section from a
+        :class:`~repro.telemetry.leakage.DynamicLeakageMeter`.
+        """
+        doc: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "runs": self.counter("runs"),
+            "counters": dict(sorted(self.counters.items())),
+            "timing": {
+                "machine_cycles": self.machine_cycles(),
+                "sleep_cycles": self.counter("cycles.sleep"),
+                "padding_cycles": self.padding_cycles(),
+                "final_cycles": self.final_cycles(),
+                "padding_overhead_ratio": self.padding_overhead_ratio(),
+            },
+            "mitigation": {
+                "completions": self.counter("mitigation.completions"),
+                "miss_updates": self.counter("mitigation.miss_updates"),
+                "miss_per_level": self.miss_counters(),
+            },
+            "hardware": {
+                "cache": {
+                    comp: {
+                        "hits": self.counter(f"hw.{comp}.hits"),
+                        "misses": self.counter(f"hw.{comp}.misses"),
+                    }
+                    for comp in ("l1d", "l2d", "l1i", "l2i", "dtlb", "itlb")
+                    if self.counter(f"hw.{comp}.hits")
+                    or self.counter(f"hw.{comp}.misses")
+                },
+                "branch": {
+                    "hits": self.counter("hw.branch.hits"),
+                    "mispredictions": self.counter("hw.branch.mispredictions"),
+                },
+                "bypass_steps": self.counter("hw.bypass.steps"),
+            },
+            "histograms": {
+                name: {str(k): v for k, v in sorted(hist.items())}
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+        if leakage is not None:
+            doc["leakage"] = leakage
+        return doc
+
+    def to_json(self, leakage: Optional[Dict[str, Any]] = None,
+                indent: int = 2) -> str:
+        """:meth:`as_dict` serialized as a JSON string."""
+        return json.dumps(self.as_dict(leakage=leakage), indent=indent)
+
+    def write(self, path: str,
+              leakage: Optional[Dict[str, Any]] = None) -> None:
+        """Write the JSON document to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json(leakage=leakage) + "\n")
+
+    # -- display ---------------------------------------------------------------
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable lines for ``repro run --trace``."""
+        lines = [
+            f"steps: {self.counter('steps.total')}  "
+            f"(machine {self.machine_cycles()} cycles, "
+            f"sleep {self.counter('cycles.sleep')}, "
+            f"padding {self.padding_cycles()}; "
+            f"overhead ratio {self.padding_overhead_ratio():.3f})",
+        ]
+        if self.counter("mitigation.completions"):
+            misses = self.miss_counters()
+            shown = ", ".join(f"{k}={v}" for k, v in sorted(misses.items()))
+            lines.append(
+                f"mitigation: {self.counter('mitigation.completions')} "
+                f"completions, Miss {{{shown}}}"
+            )
+        cache = self.prefixed("hw")
+        if any(k.endswith("hits") or k.endswith("misses") for k in cache):
+            parts = []
+            for comp in ("l1d", "l2d", "l1i", "l2i", "dtlb", "itlb"):
+                hits = self.counter(f"hw.{comp}.hits")
+                miss = self.counter(f"hw.{comp}.misses")
+                if hits or miss:
+                    parts.append(f"{comp} {hits}/{miss}")
+            if parts:
+                lines.append("cache hits/misses: " + "  ".join(parts))
+        branch_events = (self.counter("hw.branch.hits")
+                         + self.counter("hw.branch.mispredictions"))
+        if branch_events:
+            lines.append(
+                f"branch: {self.counter('hw.branch.hits')} predicted, "
+                f"{self.counter('hw.branch.mispredictions')} mispredicted"
+            )
+        if self.counter("hw.bypass.steps"):
+            lines.append(
+                f"bypassed steps (lr != lw): {self.counter('hw.bypass.steps')}"
+            )
+        return lines

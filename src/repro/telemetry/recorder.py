@@ -1,0 +1,201 @@
+"""The trace-recorder seam: runtime telemetry without semantic interference.
+
+A :class:`TraceRecorder` observes one execution from the inside: every
+charged step, every ``sleep``, every per-level ``Miss`` transition of the
+mitigation runtime, every cache/TLB/branch hit-miss the hardware resolves,
+and every completed ``mitigate`` block with its padding.  Recorders are
+strictly passive -- the interpreter, the mitigation runtime, and the
+hardware models consult :attr:`TraceRecorder.active` before doing *any*
+recording work, so the default :class:`NullRecorder` adds zero overhead and
+recording can never perturb costs, state, or events (the regression tests in
+``tests/test_telemetry.py`` enforce both).
+
+The hooks mirror the layers of the full semantics:
+
+* :meth:`on_step` / :meth:`on_sleep` -- the interpreter's clock advances;
+* :meth:`on_miss_update` / :meth:`on_mitigation` -- the Fig. 6 runtime
+  (``Miss[l]`` increments, prediction settling, padding);
+* :meth:`on_cache_access` / :meth:`on_branch` / :meth:`on_bypass` -- the
+  machine environment behind the :mod:`repro.hardware.interface` seam;
+* :meth:`on_finish` -- the run completed with a final
+  :class:`~repro.semantics.full.ExecutionResult`.
+
+:class:`RecordingTraceRecorder` is the concrete implementation: it feeds a
+:class:`~repro.telemetry.metrics.MetricsRegistry` and (optionally) a
+:class:`~repro.telemetry.leakage.DynamicLeakageMeter`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..lattice import Label
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .leakage import DynamicLeakageMeter
+    from .metrics import MetricsRegistry
+
+
+class TraceRecorder:
+    """Base recorder: every hook is a no-op and :attr:`active` is False.
+
+    Instrumented code must guard each hook call with ``recorder.active`` so
+    the inactive path does no classification work at all (hit/miss
+    pre-checks, label lookups, and so on are skipped entirely).
+    """
+
+    #: Instrumentation sites skip all recording work when this is False.
+    active: bool = False
+
+    # -- interpreter-level hooks --------------------------------------------
+
+    def on_step(self, kind, cost: int, time: int) -> None:
+        """One charged evaluation step of ``kind`` costing ``cost`` cycles;
+        ``time`` is the global clock *after* the charge."""
+
+    def on_sleep(self, duration: int, time: int) -> None:
+        """A ``sleep`` advanced the clock by exactly ``duration`` cycles."""
+
+    def on_finish(self, result) -> None:
+        """The run completed with ``result`` (an ``ExecutionResult``)."""
+
+    # -- mitigation-runtime hooks -------------------------------------------
+
+    def on_miss_update(self, level: Optional[Label], misses: int) -> None:
+        """``Miss[level]`` stepped to ``misses`` (S-UPDATE).  ``level`` is
+        None under the global penalty policy (one shared counter)."""
+
+    def on_mitigation(
+        self,
+        mit_id: str,
+        level: Label,
+        estimate: int,
+        elapsed: int,
+        padded: int,
+        misses: int,
+        pc_label: Optional[Label],
+        end_time: int,
+    ) -> None:
+        """A ``mitigate`` block completed: its body took ``elapsed`` cycles
+        and was padded to ``padded`` (``padded - elapsed`` pure padding);
+        ``misses`` is ``Miss[level]`` after settling."""
+
+    # -- hardware hooks ------------------------------------------------------
+
+    def on_cache_access(self, component: str, hit: bool) -> None:
+        """One lookup in ``component`` (``l1d``, ``l2d``, ``l1i``, ``l2i``,
+        ``dtlb``, ``itlb``) resolved as a hit or a miss."""
+
+    def on_branch(self, taken: bool, mispredicted: bool) -> None:
+        """A branch resolved against the predictor."""
+
+    def on_bypass(self, accesses: int) -> None:
+        """A step bypassed the cache (the partitioned design's
+        ``lr != lw`` worst-case path) with ``accesses`` data accesses."""
+
+
+class NullRecorder(TraceRecorder):
+    """The zero-overhead default recorder (all hooks inherited no-ops)."""
+
+
+#: Shared default instance; identity-safe to use across executions since a
+#: null recorder holds no state.
+NULL_RECORDER = NullRecorder()
+
+
+class RecordingTraceRecorder(TraceRecorder):
+    """A recorder that aggregates into a metrics registry and, optionally,
+    a dynamic leakage meter.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.telemetry.metrics.MetricsRegistry` to fill; a
+        fresh one is created when omitted.
+    meter:
+        An optional :class:`~repro.telemetry.leakage.DynamicLeakageMeter`;
+        completed mitigations are fed to it and each :meth:`on_finish`
+        closes one observed deadline sequence.
+    """
+
+    active = True
+
+    def __init__(
+        self,
+        registry: Optional["MetricsRegistry"] = None,
+        meter: Optional["DynamicLeakageMeter"] = None,
+    ):
+        if registry is None:
+            from .metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.registry = registry
+        self.meter = meter
+
+    # -- interpreter-level hooks --------------------------------------------
+
+    def on_step(self, kind, cost: int, time: int) -> None:
+        reg = self.registry
+        reg.inc("steps.total")
+        reg.inc(f"steps.{kind.value}")
+        reg.inc("cycles.machine", cost)
+
+    def on_sleep(self, duration: int, time: int) -> None:
+        reg = self.registry
+        reg.inc("steps.total")
+        reg.inc("steps.sleep")
+        reg.inc("cycles.sleep", duration)
+
+    def on_finish(self, result) -> None:
+        reg = self.registry
+        reg.inc("runs")
+        reg.inc("cycles.final", result.time)
+        if self.meter is not None:
+            self.meter.end_run(result.time)
+
+    # -- mitigation-runtime hooks -------------------------------------------
+
+    def on_miss_update(self, level: Optional[Label], misses: int) -> None:
+        reg = self.registry
+        key = level.name if level is not None else "global"
+        reg.inc("mitigation.miss_updates")
+        reg.set_gauge(f"miss.{key}", misses)
+        reg.append_series(f"miss_trace.{key}", misses)
+
+    def on_mitigation(
+        self,
+        mit_id: str,
+        level: Label,
+        estimate: int,
+        elapsed: int,
+        padded: int,
+        misses: int,
+        pc_label: Optional[Label],
+        end_time: int,
+    ) -> None:
+        reg = self.registry
+        padding = padded - elapsed
+        reg.inc("mitigation.completions")
+        reg.inc("cycles.padding", padding)
+        reg.observe("hist.mitigation.duration", padded)
+        reg.observe("hist.mitigation.padding", padding)
+        if self.meter is not None:
+            self.meter.observe(
+                mit_id, level, estimate, padded, pc_label
+            )
+
+    # -- hardware hooks ------------------------------------------------------
+
+    def on_cache_access(self, component: str, hit: bool) -> None:
+        self.registry.inc(
+            f"hw.{component}.{'hits' if hit else 'misses'}"
+        )
+
+    def on_branch(self, taken: bool, mispredicted: bool) -> None:
+        self.registry.inc(
+            "hw.branch.mispredictions" if mispredicted else "hw.branch.hits"
+        )
+
+    def on_bypass(self, accesses: int) -> None:
+        self.registry.inc("hw.bypass.steps")
+        self.registry.inc("hw.bypass.accesses", accesses)

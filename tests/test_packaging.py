@@ -91,7 +91,12 @@ class TestDocsConsistency:
         if not os.path.isdir(results):
             pytest.skip("benches not yet run in this checkout")
         produced = set(os.listdir(results))
-        # Every results file ends in .txt and was written by a Report.
+        # Every results file is either a Report's .txt or a telemetry
+        # metrics document (schema repro.telemetry/1, see docs/TELEMETRY.md).
         assert produced
         for name in produced:
-            assert name.endswith(".txt")
+            assert name.endswith(".txt") or name.endswith("_metrics.json")
+        # Each metrics document sits next to its report.
+        for name in produced:
+            if name.endswith("_metrics.json"):
+                assert name.replace("_metrics.json", ".txt") in produced
