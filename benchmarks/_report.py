@@ -30,6 +30,20 @@ def write_metrics(name: str, payload: Mapping[str, Any]) -> str:
     return path
 
 
+def write_trace(name: str, spans) -> str:
+    """Write a Chrome trace-event timeline (Perfetto-loadable) next to the
+    text reports as ``benchmarks/results/<name>_trace.json``; returns the
+    path.  ``spans`` is a :class:`repro.telemetry.SpanRecorder` span list
+    (``detail="epochs"`` keeps benchmark streams compact: one track per
+    run, one child span per mitigate epoch)."""
+    from repro.telemetry import write_chrome_trace
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}_trace.json")
+    write_chrome_trace(path, spans)
+    return path
+
+
 class Report:
     """Collects the rows of one reproduced table/figure."""
 

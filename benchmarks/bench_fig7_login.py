@@ -22,9 +22,20 @@ from repro.apps.login import (
     summarize_valid_invalid,
 )
 from repro.attacks import username_probe
-from repro.telemetry import DynamicLeakageMeter, RecordingTraceRecorder
+from repro.telemetry import (
+    DynamicLeakageMeter,
+    RecordingTraceRecorder,
+    SpanRecorder,
+    TeeRecorder,
+)
 
-from _report import Report, ascii_plot, series_constant, write_metrics
+from _report import (
+    Report,
+    ascii_plot,
+    series_constant,
+    write_metrics,
+    write_trace,
+)
 
 ATTEMPTS = 100
 VALID_COUNTS = (10, 50, 100)
@@ -55,13 +66,19 @@ def _run_experiment():
     # the meter counts distinct mitigation-deadline sequences across all
     # 3 x 100 attempts and checks them against the static Theorem 2 bound.
     meter = DynamicLeakageMeter(mitigated.lattice)
-    recorder = RecordingTraceRecorder(meter=meter)
+    metrics_recorder = RecordingTraceRecorder(meter=meter)
+    # Epoch-granularity spans keep the 3 x 100-attempt timeline compact:
+    # one Perfetto track per attempt, one child span per mitigate epoch.
+    span_recorder = SpanRecorder(detail="epochs")
+    recorder = TeeRecorder(metrics_recorder, span_recorder)
     lower = _series(mitigated, tables, recorder=recorder)
-    return tables, upper, lower, budget, recorder, meter
+    return (tables, upper, lower, budget, metrics_recorder, meter,
+            span_recorder)
 
 
 def _build_report():
-    tables, upper, lower, budget, recorder, meter = _run_experiment()
+    (tables, upper, lower, budget, recorder, meter,
+     span_recorder) = _run_experiment()
     report = Report("fig7", "Figure 7: Login time with various secrets")
     report.line(f"100 attempts; valid usernames in {VALID_COUNTS}; "
                 f"hardware={HARDWARE}; calibrated initial prediction="
@@ -122,7 +139,10 @@ def _build_report():
     metrics_path = write_metrics(
         "fig7", registry.as_dict(leakage=meter.as_dict())
     )
+    trace_path = write_trace("fig7", span_recorder.spans)
     report.line()
+    report.line(f"Execution timeline (Perfetto-loadable): {trace_path} "
+                f"({len(span_recorder.spans)} spans)")
     report.line(f"Telemetry over the mitigated stream ({metrics_path}):")
     for line in registry.summary_lines():
         report.line(f"  {line}")

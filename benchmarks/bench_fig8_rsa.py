@@ -18,9 +18,14 @@ import random
 
 from repro.apps.rsa import RsaSystem, decryption_times
 from repro.apps.rsa_math import generate_keypair
-from repro.telemetry import DynamicLeakageMeter, RecordingTraceRecorder
+from repro.telemetry import (
+    DynamicLeakageMeter,
+    RecordingTraceRecorder,
+    SpanRecorder,
+    TeeRecorder,
+)
 
-from _report import Report, ascii_plot, write_metrics
+from _report import Report, ascii_plot, write_metrics, write_trace
 
 KEY_BITS = 48
 BLOCKS = 4
@@ -61,14 +66,20 @@ def _run_experiment():
     # is one run; the meter's observed deadline sequences must stay within
     # the static Theorem 2 bound.
     meter = DynamicLeakageMeter(mitigated.lattice)
-    recorder = RecordingTraceRecorder(meter=meter)
+    metrics_recorder = RecordingTraceRecorder(meter=meter)
+    # Epoch-granularity spans: one Perfetto track per decryption, one
+    # child span per per-block mitigate epoch.
+    span_recorder = SpanRecorder(detail="epochs")
+    recorder = TeeRecorder(metrics_recorder, span_recorder)
     lower = decryption_times(mitigated, [light, heavy], messages,
                              hardware=HARDWARE, recorder=recorder)
-    return light, heavy, upper, lower, budget, recorder, meter
+    return (light, heavy, upper, lower, budget, metrics_recorder, meter,
+            span_recorder)
 
 
 def _build_report():
-    light, heavy, upper, lower, budget, recorder, meter = _run_experiment()
+    (light, heavy, upper, lower, budget, recorder, meter,
+     span_recorder) = _run_experiment()
     report = Report("fig8", "Figure 8: RSA decryption time, two private keys")
     report.line(
         f"{MESSAGES} messages of {BLOCKS} blocks; {KEY_BITS}-bit keys; "
@@ -120,7 +131,10 @@ def _build_report():
     metrics_path = write_metrics(
         "fig8", registry.as_dict(leakage=meter.as_dict())
     )
+    trace_path = write_trace("fig8", span_recorder.spans)
     report.line()
+    report.line(f"Execution timeline (Perfetto-loadable): {trace_path} "
+                f"({len(span_recorder.spans)} spans)")
     report.line(f"Telemetry over the mitigated stream ({metrics_path}):")
     for line in registry.summary_lines():
         report.line(f"  {line}")

@@ -22,12 +22,18 @@ Entry points:
 * :mod:`repro.attacks` -- the timing adversaries the paper defends against.
 """
 
+from importlib import metadata as _metadata
+
 from . import api, telemetry
 from .api import CompiledProgram, compile_program
 from .lattice import Label, Lattice, chain, diamond, powerset, two_point
 from .machine.memory import Memory
 
-__version__ = "1.0.0"
+try:
+    # Single source of truth: the packaging metadata (pyproject.toml).
+    __version__ = _metadata.version("repro")
+except _metadata.PackageNotFoundError:  # pragma: no cover - source tree
+    __version__ = "0.0.0"
 
 __all__ = [
     "CompiledProgram",

@@ -44,6 +44,7 @@ from ..machine.memory import Memory
 from ..hardware import MachineParams, make_hardware
 from ..semantics.full import ExecutionResult, execute
 from ..semantics.mitigation import MitigationState
+from ..telemetry.recorder import TraceRecorder
 from ..typesystem.environment import SecurityEnvironment
 from ..typesystem.inference import infer_labels
 from ..typesystem.typing import TypingInfo, typecheck
@@ -133,6 +134,7 @@ class PasswordChecker:
         params: Optional[MachineParams] = None,
         mitigation: Optional[MitigationState] = None,
         max_steps: int = 1_000_000,
+        recorder: Optional[TraceRecorder] = None,
     ) -> ExecutionResult:
         environment = make_hardware(hardware, self.lattice, params)
         mitigate_pc = self.typing.mitigate_pc if self.typing else {}
@@ -144,6 +146,7 @@ class PasswordChecker:
                         else MitigationState()),
             mitigate_pc=mitigate_pc,
             max_steps=max_steps,
+            recorder=recorder,
         )
 
     def matches(self, stored: Sequence[int], guess: Sequence[int]) -> bool:

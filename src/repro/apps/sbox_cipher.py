@@ -50,6 +50,7 @@ from ..machine.memory import Memory
 from ..hardware import MachineParams, make_hardware
 from ..semantics.full import ExecutionResult, execute
 from ..semantics.mitigation import MitigationState
+from ..telemetry.recorder import TraceRecorder
 from ..typesystem.environment import SecurityEnvironment
 from ..typesystem.inference import infer_labels
 from ..typesystem.typing import TypingInfo, typecheck
@@ -166,6 +167,7 @@ class SboxCipher:
         params: Optional[MachineParams] = None,
         mitigation: Optional[MitigationState] = None,
         max_steps: int = 10_000_000,
+        recorder: Optional[TraceRecorder] = None,
     ) -> ExecutionResult:
         environment = make_hardware(hardware, self.lattice, params)
         mitigate_pc = self.typing.mitigate_pc if self.typing else {}
@@ -177,6 +179,7 @@ class SboxCipher:
                         else MitigationState()),
             mitigate_pc=mitigate_pc,
             max_steps=max_steps,
+            recorder=recorder,
         )
 
     def encrypt_and_check(

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..apps.password import PasswordChecker
 from ..hardware import MachineParams
+from ..telemetry.recorder import TraceRecorder
 
 
 @dataclass
@@ -51,8 +52,10 @@ def _response_time(
     guess: Sequence[int],
     hardware: str,
     params: Optional[MachineParams],
+    recorder: Optional[TraceRecorder] = None,
 ) -> int:
-    result = checker.run(stored, guess, hardware=hardware, params=params)
+    result = checker.run(stored, guess, hardware=hardware, params=params,
+                         recorder=recorder)
     # The attacker observes the public 'done' update.
     return next(e.time for e in result.events if e.name == "done")
 
@@ -64,6 +67,7 @@ def recover_password(
     hardware: str = "partitioned",
     params: Optional[MachineParams] = None,
     filler: int = 0,
+    recorder: Optional[TraceRecorder] = None,
 ) -> PrefixAttackResult:
     """Adaptive position-by-position recovery via response timing.
 
@@ -72,7 +76,12 @@ def recover_password(
     recovers the whole secret with ``length * alphabet`` probes; on a
     mitigated one the timings are flat and the recovered string is
     garbage (the argmax ties break arbitrarily toward the first symbol).
+
+    ``recorder`` (see :mod:`repro.telemetry`) observes every victim run
+    and receives one ``attack_sample`` per guess -- the response time the
+    adversary saw -- plus summary ``attack_stat`` records at the end.
     """
+    observing = recorder is not None and recorder.active
     length = checker.length
     recovered: List[int] = []
     guesses = 0
@@ -88,8 +97,12 @@ def recover_password(
             probe = list(recovered) + [symbol]
             probe += [filler] * (length - len(probe))
             elapsed = _response_time(checker, stored, probe, hardware,
-                                     params)
+                                     params, recorder=recorder)
             guesses += 1
+            if observing:
+                recorder.on_attack_sample(
+                    "prefix", f"pos{position}.sym{symbol}", elapsed
+                )
             better = (
                 best_time is None
                 or (elapsed > best_time if want_max else elapsed < best_time)
@@ -98,8 +111,15 @@ def recover_password(
                 best_time = elapsed
                 best_symbol = symbol
         recovered.append(best_symbol)
-    return PrefixAttackResult(
+    outcome = PrefixAttackResult(
         recovered=recovered,
         true_secret=tuple(stored),
         guesses_used=guesses,
     )
+    if observing:
+        recorder.on_attack_stat("prefix", "guesses", outcome.guesses_used)
+        recorder.on_attack_stat("prefix", "correct_prefix",
+                                outcome.correct_prefix)
+        recorder.on_attack_stat("prefix", "succeeded",
+                                int(outcome.succeeded))
+    return outcome

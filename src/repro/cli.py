@@ -35,6 +35,13 @@ contract
 
         python -m repro contract partitioned --levels L,M,H
 
+report
+    Render a human audit report from a telemetry document (a metrics
+    JSON from ``--metrics-out`` or a JSONL journal from
+    ``--journal-out``)::
+
+        python -m repro report benchmarks/results/fig7_metrics.json
+
 Programs use the concrete syntax of :mod:`repro.lang.parser`; the security
 lattice defaults to ``L <= H`` and ``--levels a,b,c`` builds a chain.
 """
@@ -42,9 +49,11 @@ lattice defaults to ``L <= H`` and ``--levels a,b,c`` builds a chain.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
+from . import __version__
 from .api import compile_program
 from .hardware import make_hardware, paper_machine, run_contract_suite
 from .lang.parser import DEFAULT_LATTICE, parse
@@ -57,7 +66,17 @@ from .quantitative import (
     secret_variants,
     timing_variations,
 )
-from .telemetry import DynamicLeakageMeter, RecordingTraceRecorder
+from .telemetry import (
+    DynamicLeakageMeter,
+    EventJournal,
+    RecordingTraceRecorder,
+    ReportError,
+    SpanRecorder,
+    TeeRecorder,
+    load_document,
+    render_report,
+    write_chrome_trace,
+)
 from .typesystem import (
     SecurityEnvironment,
     TypingError,
@@ -162,13 +181,28 @@ def cmd_run(args) -> int:
     ``--trace`` prints a telemetry summary; ``--metrics-out FILE`` writes
     the full telemetry JSON document (schema ``repro.telemetry/1``,
     see docs/TELEMETRY.md), including the dynamic Theorem 2 accounting.
+    ``--trace-out FILE`` writes a Chrome trace-event JSON (open it in
+    Perfetto or chrome://tracing); ``--journal-out FILE`` streams the
+    execution timeline as JSONL (consumed by ``repro report``).
     """
     compiled = _compiled(args, check=not args.unchecked)
-    recorder = None
+    metrics_recorder = None
     meter = None
     if args.trace or args.metrics_out:
         meter = DynamicLeakageMeter(compiled.lattice)
-        recorder = RecordingTraceRecorder(meter=meter)
+        metrics_recorder = RecordingTraceRecorder(meter=meter)
+    span_recorder = None
+    journal = None
+    if args.trace_out or args.journal_out:
+        if args.journal_out:
+            journal = EventJournal(args.journal_out)
+        span_recorder = SpanRecorder(
+            journal=journal, keep_spans=bool(args.trace_out)
+        )
+    if metrics_recorder is not None and span_recorder is not None:
+        recorder = TeeRecorder(metrics_recorder, span_recorder)
+    else:
+        recorder = metrics_recorder or span_recorder
     result = compiled.run(
         _memory(args.set),
         hardware=args.hardware,
@@ -188,10 +222,10 @@ def cmd_run(args) -> int:
                   f"(level {record.level}, done at {record.end_time})")
     for name in sorted(compiled.gamma):
         print(f"final {name} = {result.memory.value_of(name)}")
-    if recorder is not None:
+    if metrics_recorder is not None:
         if args.trace:
             print("telemetry:")
-            for line in recorder.registry.summary_lines():
+            for line in metrics_recorder.registry.summary_lines():
                 print(f"  {line}")
             print(
                 f"  leakage: {meter.observed_variations} observed "
@@ -200,16 +234,32 @@ def cmd_run(args) -> int:
                 f"{'ok' if meter.holds() else 'VIOLATED'}"
             )
         if args.metrics_out:
-            recorder.registry.write(args.metrics_out,
-                                    leakage=meter.as_dict())
+            metrics_recorder.registry.write(args.metrics_out,
+                                            leakage=meter.as_dict())
             print(f"metrics written to {args.metrics_out}")
-        if not meter.holds():
-            return 1
+    if span_recorder is not None:
+        if journal is not None:
+            journal.close()
+            print(f"journal written to {args.journal_out} "
+                  f"({journal.emitted} records)")
+        if args.trace_out:
+            write_chrome_trace(args.trace_out, span_recorder.spans)
+            print(f"trace written to {args.trace_out} "
+                  f"({len(span_recorder.spans)} spans)")
+    if meter is not None and not meter.holds():
+        return 1
     return 0
 
 
 def cmd_leakage(args) -> int:
-    """`leakage`: exhaustive Q / log|V| / bound over one secret's range."""
+    """`leakage`: exhaustive Q / log|V| / bound over one secret's range.
+
+    ``--trace``/``--metrics-out`` mirror ``repro run``: one telemetry
+    document covers the *whole* sweep (every run of both the Definition 1
+    and the Definition 2 passes), with the dynamic Theorem 2 account
+    computed against the swept secret's level and a ``sweep`` section
+    recording both sides of the theorem.
+    """
     compiled = _compiled(args, check=not args.unchecked)
     lattice = compiled.lattice
     base = _memory(args.set)
@@ -224,25 +274,82 @@ def cmd_leakage(args) -> int:
     adversary = lattice[args.adversary] if args.adversary else lattice.bottom
     levels = [compiled.gamma[args.secret]]
     env = make_hardware(args.hardware, lattice, paper_machine())
+    recorder = None
+    meter = None
+    if args.trace or args.metrics_out:
+        meter = DynamicLeakageMeter(lattice, levels=levels,
+                                    adversary=adversary)
+        recorder = RecordingTraceRecorder(meter=meter)
     q = measure_leakage(
         compiled.program, compiled.gamma, lattice, levels, adversary,
         base, env, variants, mitigate_pc=compiled.typing.mitigate_pc,
+        recorder=recorder,
     )
     v = timing_variations(
         compiled.program, lattice, levels, adversary, base, env, variants,
-        mitigate_pc=compiled.typing.mitigate_pc,
+        mitigate_pc=compiled.typing.mitigate_pc, recorder=recorder,
     )
     worst = max((key[-1][3] for key in q.observations if key), default=1)
     bound = leakage_bound(lattice, levels, adversary, worst,
                           relevant_mitigations=len(
                               next(iter(v.id_vectors), ())))
+    holds = q.bits <= v.bits + 1e-9
     print(f"secrets: {args.secret} in [{lo}, {hi})  adversary: {adversary}")
     print(f"Q        = {q.bits:.3f} bits "
           f"({q.distinguishable} distinguishable observations)")
     print(f"log|V|   = {v.bits:.3f} bits ({v.count} timing variations)")
     print(f"bound    = {bound:.3f} bits  (T={worst})")
-    print(f"Theorem 2 {'holds' if q.bits <= v.bits + 1e-9 else 'VIOLATED'}")
+    print(f"Theorem 2 {'holds' if holds else 'VIOLATED'}")
+    if recorder is not None:
+        if args.trace:
+            print("telemetry:")
+            for line in recorder.registry.summary_lines():
+                print(f"  {line}")
+            print(
+                f"  leakage: {meter.observed_variations} observed "
+                f"variation(s) ({meter.observed_bits:.3f} bits) <= "
+                f"static bound {meter.static_bound_bits():.3f} bits: "
+                f"{'ok' if meter.holds() else 'VIOLATED'}"
+            )
+        if args.metrics_out:
+            doc = recorder.registry.as_dict(leakage=meter.as_dict())
+            doc["sweep"] = {
+                "secret": args.secret,
+                "values": [lo, hi],
+                "adversary": adversary.name,
+                "q_bits": q.bits,
+                "distinguishable": q.distinguishable,
+                "variation_bits": v.bits,
+                "variation_count": v.count,
+                "bound_bits": bound,
+                "theorem2_holds": holds,
+            }
+            with open(args.metrics_out, "w") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"metrics written to {args.metrics_out}")
+        if not meter.holds():
+            return 1
     return 0
+
+
+def cmd_report(args) -> int:
+    """`report`: render an audit report from a telemetry document.
+
+    Accepts a metrics JSON (``--metrics-out``) or an event journal
+    (``--journal-out``).  Exits 1 when the document records a dynamic
+    leakage account that exceeds its static Theorem 2 bound, 2 when the
+    input is not a telemetry document.
+    """
+    try:
+        doc = load_document(args.document)
+        lines, ok = render_report(doc, source=args.document)
+    except (OSError, ReportError, json.JSONDecodeError) as err:
+        print(f"repro report: {err}", file=sys.stderr)
+        return 2
+    for line in lines:
+        print(line)
+    return 0 if ok else 1
 
 
 def cmd_contract(args) -> int:
@@ -270,6 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Timing-channel language toolchain (PLDI 2012 repro)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -310,6 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", metavar="FILE", default=None,
                    help="write telemetry metrics JSON "
                         "(schema repro.telemetry/1) to FILE")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write a Chrome trace-event JSON timeline to FILE "
+                        "(open in Perfetto / chrome://tracing)")
+    p.add_argument("--journal-out", metavar="FILE", default=None,
+                   help="stream the execution timeline as JSONL to FILE "
+                        "(consumed by `repro report`)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("leakage", help="measure leakage over a secret range")
@@ -321,6 +439,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hardware", choices=HARDWARE_CHOICES,
                    default="partitioned")
     p.add_argument("--unchecked", action="store_true")
+    p.add_argument("--trace", action="store_true",
+                   help="print a telemetry summary covering the whole sweep")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="write one telemetry metrics JSON for the whole "
+                        "sweep (with a `sweep` section) to FILE")
     p.set_defaults(func=cmd_leakage)
 
     p = sub.add_parser("contract", help="verify a hardware model")
@@ -328,6 +451,13 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, program=False)
     p.add_argument("--trials", type=int, default=15)
     p.set_defaults(func=cmd_contract)
+
+    p = sub.add_parser("report",
+                       help="render an audit report from telemetry output")
+    p.add_argument("document",
+                   help="a metrics JSON (--metrics-out) or an event "
+                        "journal (--journal-out)")
+    p.set_defaults(func=cmd_report)
 
     return parser
 

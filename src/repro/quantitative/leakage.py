@@ -116,6 +116,7 @@ def measure_leakage(
     mitigate_pc: Mapping[str, Label] = None,
     validate: bool = True,
     max_steps: int = 10_000_000,
+    recorder=None,
 ) -> LeakageResult:
     """Measure ``Q(L, lA, c, m, E)`` over an explicit variant family.
 
@@ -123,6 +124,8 @@ def measure_leakage(
     ``base_memory`` only at levels in ``L_{lA}`` (checked unless
     ``validate=False``).  Environments default to clones of the baseline
     (the common case: the adversary knows the initial hardware state).
+    An optional ``recorder`` (see :mod:`repro.telemetry`) observes every
+    run of the sweep, so one metrics document can cover it all.
     """
     allowed = lattice.exclude_observable(levels, adversary)
     if validate:
@@ -145,6 +148,7 @@ def measure_leakage(
                 mitigation=MitigationState(),
                 mitigate_pc=mitigate_pc,
                 max_steps=max_steps,
+                recorder=recorder,
             )
             key = observation_key(
                 observable_events(result.events, gamma, adversary)

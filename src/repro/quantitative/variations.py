@@ -89,6 +89,7 @@ def _run_projected(
     upward: FrozenSet[Label],
     mitigate_pc: Mapping[str, Label],
     max_steps: int,
+    recorder=None,
 ) -> Tuple[MitigationRecord, ...]:
     result = execute(
         program,
@@ -98,6 +99,7 @@ def _run_projected(
         mitigation=MitigationState(),
         mitigate_pc=mitigate_pc,
         max_steps=max_steps,
+        recorder=recorder,
     )
     # Lemma 1's pc filter keeps only low-context records; Definition 2 then
     # additionally requires the mitigation level to sit inside L^.
@@ -115,11 +117,13 @@ def timing_variations(
     environment_variants: Optional[Sequence[MachineEnvironment]] = None,
     mitigate_pc: Mapping[str, Label] = None,
     max_steps: int = 10_000_000,
+    recorder=None,
 ) -> VariationResult:
     """Measure ``V(L, lA, c, m, E)`` over an explicit variant family.
 
     Per Definition 2 the variants may range over the larger set ``L^_{lA}``
-    (upward closure), which the caller's family should reflect.
+    (upward closure), which the caller's family should reflect.  An optional
+    ``recorder`` (see :mod:`repro.telemetry`) observes every run.
     """
     upward = lattice.upward_closure(
         lattice.exclude_observable(levels, adversary)
@@ -136,7 +140,7 @@ def timing_variations(
         for environment in environment_variants:
             projected = _run_projected(
                 program, memory, environment, layout, upward,
-                mitigate_pc, max_steps,
+                mitigate_pc, max_steps, recorder=recorder,
             )
             variations.add(mitigation_times(projected))
             id_vectors.add(mitigation_ids(projected))

@@ -257,6 +257,16 @@ class Interpreter:
         if isinstance(cmd, ast.Mitigate):
             estimate, accesses = eval_expr_traced(cmd.budget, self.memory)
             self._charge(StepKind.MITIGATE, cmd, reads=accesses)
+            if self.recorder.active:
+                # Span boundary: the epoch opens once the head is charged,
+                # carrying the runtime's current prediction for it.
+                self.recorder.on_mitigate_enter(
+                    cmd.mit_id,
+                    cmd.level,
+                    estimate,
+                    self.mitigation.predict(estimate, cmd.level),
+                    self.time,
+                )
             frame = _MitFrame(
                 mit_id=cmd.mit_id,
                 level=cmd.level,
@@ -299,6 +309,12 @@ class Interpreter:
 
     def run(self) -> ExecutionResult:
         """Run to completion (or raise ``TimeoutError`` after ``max_steps``)."""
+        if self.recorder.active:
+            # Span boundary: the run timeline opens at global clock 0.
+            self.recorder.on_run_start({
+                "hardware": type(self.environment).__name__,
+                "mitigation": self.mitigation.describe(),
+            })
         current: Optional[ast.Command] = self.program
         while current is not None:
             if self.steps >= self.max_steps:

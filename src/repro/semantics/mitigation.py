@@ -127,6 +127,11 @@ class MitigationState:
                 self.recorder.on_miss_update(key, self._miss[key])
         return self.scheme.predict(estimate, self._miss.get(key, 0))
 
+    def describe(self) -> str:
+        """``scheme/policy`` -- the configuration string attached to run
+        spans by the telemetry layer."""
+        return f"{self.scheme.name()}/{self.policy}"
+
     def snapshot(self) -> Dict[Optional[Label], int]:
         """Current counters (for inspection and tests)."""
         return dict(self._miss)

@@ -15,8 +15,15 @@ Three pieces, designed to make the software/hardware timing contract
 * :class:`~repro.telemetry.leakage.DynamicLeakageMeter` -- live Theorem 2
   accounting: counts distinct observed mitigation-deadline sequences and
   checks them against the static Sec. 7 bound.
+
+On top of the raw stream sit the execution timelines
+(:mod:`repro.telemetry.spans`: hierarchical spans plus the streaming
+:class:`EventJournal`), the Perfetto-loadable Chrome trace-event export
+(:mod:`repro.telemetry.export`), and the ``repro report`` audit renderer
+(:mod:`repro.telemetry.report`).
 """
 
+from .export import chrome_trace, write_chrome_trace
 from .leakage import (
     DynamicLeakageMeter,
     LeakageBoundViolation,
@@ -26,16 +33,36 @@ from .recorder import (
     NULL_RECORDER,
     NullRecorder,
     RecordingTraceRecorder,
+    TeeRecorder,
     TraceRecorder,
+)
+from .report import ReportError, load_document, render_report
+from .spans import (
+    EventJournal,
+    Span,
+    SpanRecorder,
+    load_journal,
+    spans_from_journal,
 )
 
 __all__ = [
     "DynamicLeakageMeter",
+    "EventJournal",
     "LeakageBoundViolation",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
     "RecordingTraceRecorder",
+    "ReportError",
     "SCHEMA",
+    "Span",
+    "SpanRecorder",
+    "TeeRecorder",
     "TraceRecorder",
+    "chrome_trace",
+    "load_document",
+    "load_journal",
+    "render_report",
+    "spans_from_journal",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,125 @@
+"""Chrome trace-event export: timelines loadable in Perfetto.
+
+:func:`chrome_trace` turns a span list (from
+:class:`~repro.telemetry.spans.SpanRecorder` or rebuilt from a journal via
+:func:`~repro.telemetry.spans.spans_from_journal`) into the Chrome
+trace-event JSON format understood by https://ui.perfetto.dev and
+``chrome://tracing``:
+
+* every span becomes a balanced ``B``/``E`` duration-event pair on the
+  track (``tid``) of its run, nested by parentage, with the span
+  attributes as ``args``;
+* every settled ``mitigate`` epoch additionally emits a ``C`` (counter)
+  event ``Miss[l]`` at its end time, so the fast-doubling staircase of
+  Fig. 6 renders as a counter track;
+* ``M`` (metadata) events name the process and one thread per recorded
+  run.
+
+Timestamps are the simulator's global-clock **cycles** used directly as
+microseconds (the trace format's native unit); absolute wall-time
+is meaningless for a simulated machine, so only relative structure
+matters.  The export maintains two invariants the tests pin down:
+within each ``tid``, ``B``/``E`` events are perfectly balanced
+(stack-wise) and their timestamps are monotone non-decreasing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .metrics import SCHEMA
+from .spans import CATEGORY_MITIGATE, CATEGORY_RUN, Span, json_safe
+
+PROCESS_NAME = "repro simulated machine"
+
+
+def _duration_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Balanced B/E pairs, depth-first per track (children inside parents)."""
+    closed = [s for s in spans if s.end is not None]
+    children: Dict[Optional[int], List[Span]] = {}
+    by_id = {s.span_id: s for s in closed}
+    roots: List[Span] = []
+    for span in closed:
+        if span.parent_id is not None and span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+    events: List[Dict[str, Any]] = []
+
+    def emit(span: Span) -> None:
+        tid = span.track + 1
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "B",
+            "ts": span.start,
+            "pid": 1,
+            "tid": tid,
+            "args": json_safe(span.attrs),
+        })
+        for child in sorted(children.get(span.span_id, ()),
+                            key=lambda s: (s.start, s.span_id)):
+            emit(child)
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "E",
+            "ts": span.end,
+            "pid": 1,
+            "tid": tid,
+        })
+        if span.category == CATEGORY_MITIGATE and "misses" in span.attrs:
+            events.append({
+                "name": f"Miss[{span.attrs.get('level', '?')}]",
+                "cat": "mitigation",
+                "ph": "C",
+                "ts": span.end,
+                "pid": 1,
+                "tid": tid,
+                "args": {"misses": span.attrs["misses"]},
+            })
+
+    for root in sorted(roots, key=lambda s: (s.track, s.start, s.span_id)):
+        emit(root)
+    return events
+
+
+def _metadata_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "args": {"name": PROCESS_NAME},
+    }]
+    for span in spans:
+        if span.category == CATEGORY_RUN:
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": span.track + 1,
+                "args": {"name": span.name},
+            })
+    return events
+
+
+def chrome_trace(spans: Iterable[Span]) -> Dict[str, Any]:
+    """The full Chrome trace-event document for a span list."""
+    spans = list(spans)
+    return {
+        "traceEvents": _metadata_events(spans) + _duration_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": SCHEMA,
+            "clock": "simulated cycles (1 cycle = 1 us in the viewer)",
+        },
+    }
+
+
+def write_chrome_trace(path: str, spans: Iterable[Span]) -> str:
+    """Write :func:`chrome_trace` to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(spans), handle, indent=1)
+        handle.write("\n")
+    return path

@@ -82,6 +82,33 @@ class MetricsRegistry:
             if name.startswith("miss.")
         }
 
+    def site_breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Per-mitigate-site totals, keyed by mitigate id: completions,
+        total (padded) cycles, and pure padding cycles -- the data behind
+        ``repro report``'s padding breakdown."""
+        sites: Dict[str, Dict[str, int]] = {}
+        for name, value in self.counters.items():
+            if name.startswith("site."):
+                _, mit_id, what = name.split(".", 2)
+                sites.setdefault(mit_id, {})[what] = value
+        return sites
+
+    def attack_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-attack sample counts and distinguisher statistics, from the
+        ``attack.<name>.*`` counters and gauges."""
+        attacks: Dict[str, Dict[str, Any]] = {}
+        for name, value in self.counters.items():
+            if name.startswith("attack.") and name.endswith(".samples"):
+                attack = name[len("attack."):-len(".samples")]
+                attacks.setdefault(attack, {"stats": {}})["samples"] = value
+        for name, value in self.gauges.items():
+            if name.startswith("attack."):
+                attack, stat = name[len("attack."):].split(".", 1)
+                attacks.setdefault(
+                    attack, {"stats": {}}
+                )["stats"][stat] = value
+        return attacks
+
     def machine_cycles(self) -> int:
         """Cycles charged by the hardware (no sleep, no padding)."""
         return self.counter("cycles.machine")
@@ -143,7 +170,17 @@ class MetricsRegistry:
                 name: {str(k): v for k, v in sorted(hist.items())}
                 for name, hist in sorted(self.histograms.items())
             },
+            "series": {
+                name: list(values)
+                for name, values in sorted(self.series.items())
+            },
         }
+        sites = self.site_breakdown()
+        if sites:
+            doc["sites"] = {k: sites[k] for k in sorted(sites)}
+        attacks = self.attack_summary()
+        if attacks:
+            doc["attacks"] = {k: attacks[k] for k in sorted(attacks)}
         if leakage is not None:
             doc["leakage"] = leakage
         return doc

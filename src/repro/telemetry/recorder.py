@@ -12,22 +12,28 @@ recording can never perturb costs, state, or events (the regression tests in
 
 The hooks mirror the layers of the full semantics:
 
-* :meth:`on_step` / :meth:`on_sleep` -- the interpreter's clock advances;
-* :meth:`on_miss_update` / :meth:`on_mitigation` -- the Fig. 6 runtime
-  (``Miss[l]`` increments, prediction settling, padding);
+* :meth:`on_run_start` / :meth:`on_step` / :meth:`on_sleep` -- the
+  interpreter starts and its clock advances;
+* :meth:`on_mitigate_enter` / :meth:`on_miss_update` /
+  :meth:`on_mitigation` -- the Fig. 6 runtime (epoch boundaries,
+  ``Miss[l]`` increments, prediction settling, padding);
 * :meth:`on_cache_access` / :meth:`on_branch` / :meth:`on_bypass` -- the
   machine environment behind the :mod:`repro.hardware.interface` seam;
+* :meth:`on_attack_sample` / :meth:`on_attack_stat` -- the adversaries in
+  :mod:`repro.attacks` observing timing and computing distinguishers;
 * :meth:`on_finish` -- the run completed with a final
   :class:`~repro.semantics.full.ExecutionResult`.
 
-:class:`RecordingTraceRecorder` is the concrete implementation: it feeds a
-:class:`~repro.telemetry.metrics.MetricsRegistry` and (optionally) a
-:class:`~repro.telemetry.leakage.DynamicLeakageMeter`.
+:class:`RecordingTraceRecorder` is the concrete aggregating implementation
+(it feeds a :class:`~repro.telemetry.metrics.MetricsRegistry` and
+optionally a :class:`~repro.telemetry.leakage.DynamicLeakageMeter`);
+:class:`~repro.telemetry.spans.SpanRecorder` assembles timelines; and
+:class:`TeeRecorder` fans one execution out to several recorders.
 """
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Any, Mapping, Optional, TYPE_CHECKING
 
 from ..lattice import Label
 
@@ -49,6 +55,11 @@ class TraceRecorder:
 
     # -- interpreter-level hooks --------------------------------------------
 
+    def on_run_start(self, attrs: Mapping[str, Any]) -> None:
+        """A new execution is starting at global clock 0; ``attrs``
+        describes the run configuration (hardware model, mitigation
+        scheme/policy).  Span boundary for the run timeline."""
+
     def on_step(self, kind, cost: int, time: int) -> None:
         """One charged evaluation step of ``kind`` costing ``cost`` cycles;
         ``time`` is the global clock *after* the charge."""
@@ -60,6 +71,12 @@ class TraceRecorder:
         """The run completed with ``result`` (an ``ExecutionResult``)."""
 
     # -- mitigation-runtime hooks -------------------------------------------
+
+    def on_mitigate_enter(self, mit_id: str, level: Label, estimate: int,
+                          prediction: int, time: int) -> None:
+        """A ``mitigate`` block opened at global clock ``time`` with the
+        evaluated ``estimate`` and the runtime's current ``prediction``
+        for it.  Span boundary for the epoch timeline."""
 
     def on_miss_update(self, level: Optional[Label], misses: int) -> None:
         """``Miss[level]`` stepped to ``misses`` (S-UPDATE).  ``level`` is
@@ -92,6 +109,17 @@ class TraceRecorder:
     def on_bypass(self, accesses: int) -> None:
         """A step bypassed the cache (the partitioned design's
         ``lr != lw`` worst-case path) with ``accesses`` data accesses."""
+
+    # -- adversary hooks -----------------------------------------------------
+
+    def on_attack_sample(self, attack: str, probe: str, time: int) -> None:
+        """An adversary (:mod:`repro.attacks`) observed one timing sample
+        ``time`` for probe ``probe`` (e.g. ``pos2.sym7`` for a password
+        guess, a block address for a cache probe)."""
+
+    def on_attack_stat(self, attack: str, stat: str, value) -> None:
+        """An attack computed one distinguisher statistic (threshold
+        accuracy, fitted slope/correlation, candidates remaining, ...)."""
 
 
 class NullRecorder(TraceRecorder):
@@ -162,6 +190,10 @@ class RecordingTraceRecorder(TraceRecorder):
         reg.set_gauge(f"miss.{key}", misses)
         reg.append_series(f"miss_trace.{key}", misses)
 
+    def on_mitigate_enter(self, mit_id: str, level: Label, estimate: int,
+                          prediction: int, time: int) -> None:
+        self.registry.inc("mitigation.entries")
+
     def on_mitigation(
         self,
         mit_id: str,
@@ -179,6 +211,10 @@ class RecordingTraceRecorder(TraceRecorder):
         reg.inc("cycles.padding", padding)
         reg.observe("hist.mitigation.duration", padded)
         reg.observe("hist.mitigation.padding", padding)
+        # Per-site breakdown for `repro report`.
+        reg.inc(f"site.{mit_id}.completions")
+        reg.inc(f"site.{mit_id}.cycles", padded)
+        reg.inc(f"site.{mit_id}.padding", padding)
         if self.meter is not None:
             self.meter.observe(
                 mit_id, level, estimate, padded, pc_label
@@ -199,3 +235,75 @@ class RecordingTraceRecorder(TraceRecorder):
     def on_bypass(self, accesses: int) -> None:
         self.registry.inc("hw.bypass.steps")
         self.registry.inc("hw.bypass.accesses", accesses)
+
+    # -- adversary hooks ------------------------------------------------------
+
+    def on_attack_sample(self, attack: str, probe: str, time: int) -> None:
+        reg = self.registry
+        reg.inc(f"attack.{attack}.samples")
+        reg.append_series(f"attack_times.{attack}", time)
+
+    def on_attack_stat(self, attack: str, stat: str, value) -> None:
+        self.registry.set_gauge(f"attack.{attack}.{stat}", value)
+
+
+class TeeRecorder(TraceRecorder):
+    """Fans every hook out to several recorders, so one execution can feed
+    a metrics registry and a span assembler at the same time.  ``None``
+    children are dropped for call-site convenience."""
+
+    active = True
+
+    def __init__(self, *recorders: Optional[TraceRecorder]):
+        self.recorders = tuple(r for r in recorders if r is not None)
+
+    def on_run_start(self, attrs: Mapping[str, Any]) -> None:
+        for r in self.recorders:
+            r.on_run_start(attrs)
+
+    def on_step(self, kind, cost: int, time: int) -> None:
+        for r in self.recorders:
+            r.on_step(kind, cost, time)
+
+    def on_sleep(self, duration: int, time: int) -> None:
+        for r in self.recorders:
+            r.on_sleep(duration, time)
+
+    def on_finish(self, result) -> None:
+        for r in self.recorders:
+            r.on_finish(result)
+
+    def on_mitigate_enter(self, mit_id: str, level: Label, estimate: int,
+                          prediction: int, time: int) -> None:
+        for r in self.recorders:
+            r.on_mitigate_enter(mit_id, level, estimate, prediction, time)
+
+    def on_miss_update(self, level: Optional[Label], misses: int) -> None:
+        for r in self.recorders:
+            r.on_miss_update(level, misses)
+
+    def on_mitigation(self, mit_id, level, estimate, elapsed, padded,
+                      misses, pc_label, end_time) -> None:
+        for r in self.recorders:
+            r.on_mitigation(mit_id, level, estimate, elapsed, padded,
+                            misses, pc_label, end_time)
+
+    def on_cache_access(self, component: str, hit: bool) -> None:
+        for r in self.recorders:
+            r.on_cache_access(component, hit)
+
+    def on_branch(self, taken: bool, mispredicted: bool) -> None:
+        for r in self.recorders:
+            r.on_branch(taken, mispredicted)
+
+    def on_bypass(self, accesses: int) -> None:
+        for r in self.recorders:
+            r.on_bypass(accesses)
+
+    def on_attack_sample(self, attack: str, probe: str, time: int) -> None:
+        for r in self.recorders:
+            r.on_attack_sample(attack, probe, time)
+
+    def on_attack_stat(self, attack: str, stat: str, value) -> None:
+        for r in self.recorders:
+            r.on_attack_stat(attack, stat, value)

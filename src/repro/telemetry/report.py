@@ -1,0 +1,290 @@
+"""The ``repro report`` audit renderer.
+
+Consumes either a metrics JSON document (schema ``repro.telemetry/1``, as
+written by ``repro run --metrics-out``, ``repro leakage --metrics-out``,
+or the fig7/fig8 benchmarks) or an event journal (JSONL, as written by
+``repro run --journal-out``) and renders a human audit report:
+
+* **time sinks** -- where the cycles went (machine, sleep, padding), top
+  first, with their share of the final clock;
+* **mitigate sites** -- per-site completions, total duration, pure
+  padding, and distinct observed durations;
+* **Miss trajectory** -- every value each ``Miss[l]`` took, in order (the
+  fast-doubling staircase of Fig. 6);
+* **leakage verdict** -- the dynamic Theorem 2 account: observed bits
+  versus the static ``|L^| * log2(K+1) * (1 + log2 T)`` bound, with an
+  explicit within-bound verdict.
+
+:func:`render_report` returns the lines plus an ``ok`` flag; the CLI exits
+nonzero when a metrics document records an observed > bound violation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import SCHEMA
+from .spans import CATEGORY_MITIGATE, CATEGORY_RUN, Span, spans_from_journal
+
+
+class ReportError(ValueError):
+    """The input document is not a metrics JSON or an event journal."""
+
+
+def load_document(path: str) -> Dict[str, Any]:
+    """Load a metrics JSON or a JSONL journal into a uniform dict.
+
+    Returns either the metrics document as-is (it carries ``schema``) or
+    ``{"schema": ..., "journal": [records...]}`` for journals.
+    """
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ReportError(f"{path} is empty")
+    if stripped.startswith("{") and "\n{" not in stripped.rstrip():
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise ReportError(f"{path} is not a telemetry document")
+        if "type" in doc and "counters" not in doc:
+            # A one-record journal (header only).
+            return {"schema": doc.get("schema", SCHEMA), "journal": [doc]}
+        return doc
+    records = [json.loads(line) for line in text.splitlines() if line.strip()]
+    header = next((r for r in records if r.get("type") == "header"), {})
+    return {"schema": header.get("schema", SCHEMA), "journal": records}
+
+
+def _fmt_share(part: int, whole: int) -> str:
+    return f"{part / whole:6.1%}" if whole else "   n/a"
+
+
+def _trajectory_line(level: str, values: Sequence[int]) -> str:
+    shown = " -> ".join(str(v) for v in values[:12])
+    if len(values) > 12:
+        shown += f" -> ... ({len(values)} updates)"
+    return f"  Miss[{level}]: {shown}"
+
+
+def _sites_from_counters(counters: Mapping[str, int]) -> Dict[str, Dict]:
+    """Per-mitigate-site totals from ``site.<id>.<what>`` counters."""
+    sites: Dict[str, Dict[str, int]] = {}
+    for name, value in counters.items():
+        if not name.startswith("site."):
+            continue
+        _, mit_id, what = name.split(".", 2)
+        sites.setdefault(mit_id, {})[what] = value
+    return sites
+
+
+def _metrics_report(doc: Mapping[str, Any]) -> Tuple[List[str], bool]:
+    lines: List[str] = []
+    timing = doc.get("timing", {})
+    final = timing.get("final_cycles", 0)
+    lines.append(f"runs: {doc.get('runs', 0)}   "
+                 f"final clock total: {final} cycles")
+
+    lines.append("")
+    lines.append("time sinks (top first):")
+    sinks = [
+        ("machine (hardware-charged steps)", timing.get("machine_cycles", 0)),
+        ("padding (mitigate stretch)", timing.get("padding_cycles", 0)),
+        ("sleep", timing.get("sleep_cycles", 0)),
+    ]
+    for name, cycles in sorted(sinks, key=lambda kv: -kv[1]):
+        lines.append(f"  {_fmt_share(cycles, final)}  {cycles:>12}  {name}")
+
+    sites = doc.get("sites") or _sites_from_counters(doc.get("counters", {}))
+    distinct = doc.get("leakage", {}).get(
+        "per_command_distinct_durations", {}
+    )
+    if sites or distinct:
+        lines.append("")
+        lines.append("mitigate sites (padding breakdown):")
+        names = sorted(set(sites) | set(distinct))
+        for mit_id in names:
+            info = sites.get(mit_id, {})
+            total = info.get("cycles", 0)
+            padding = info.get("padding", 0)
+            lines.append(
+                f"  {mit_id}: {info.get('completions', '?')} completions, "
+                f"{total} cycles total, {padding} padding"
+                + (f" ({padding / total:.1%})" if total else "")
+                + (f", {distinct[mit_id]} distinct duration(s)"
+                   if mit_id in distinct else "")
+            )
+
+    series = doc.get("series", {})
+    trajectories = {
+        name[len("miss_trace."):]: values
+        for name, values in sorted(series.items())
+        if name.startswith("miss_trace.")
+    }
+    lines.append("")
+    lines.append("Miss trajectory per level:")
+    if trajectories:
+        for level, values in trajectories.items():
+            lines.append(_trajectory_line(level, values))
+    else:
+        finals = doc.get("mitigation", {}).get("miss_per_level", {})
+        if finals:
+            for level, value in sorted(finals.items()):
+                lines.append(f"  Miss[{level}]: final value {value} "
+                             "(no trajectory series in this document)")
+        else:
+            lines.append("  (no mispredictions recorded)")
+
+    attacks = doc.get("attacks", {})
+    if attacks:
+        lines.append("")
+        lines.append("adversary activity:")
+        for attack, info in sorted(attacks.items()):
+            stats = ", ".join(
+                f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(info.get("stats", {}).items())
+            )
+            lines.append(f"  {attack}: {info.get('samples', 0)} timing "
+                         f"sample(s){'; ' + stats if stats else ''}")
+
+    ok = True
+    sweep = doc.get("sweep")
+    if sweep:
+        lines.append("")
+        lines.append("secret sweep (Theorem 2, measured both sides):")
+        lo, hi = sweep.get("values", ["?", "?"])
+        lines.append(f"  secret {sweep.get('secret')} in [{lo}, {hi})  "
+                     f"adversary {sweep.get('adversary')}")
+        lines.append(f"  Q = {sweep.get('q_bits', 0.0):.3f} bits "
+                     f"({sweep.get('distinguishable', '?')} distinguishable), "
+                     f"log|V| = {sweep.get('variation_bits', 0.0):.3f} bits "
+                     f"({sweep.get('variation_count', '?')} variations), "
+                     f"closed-form bound {sweep.get('bound_bits', 0.0):.3f} "
+                     "bits")
+        lines.append(f"  Theorem 2 "
+                     f"{'holds' if sweep.get('theorem2_holds') else 'VIOLATED'}"
+                     " on this family")
+        if not sweep.get("theorem2_holds", True):
+            ok = False
+
+    lines.append("")
+    leakage = doc.get("leakage")
+    if leakage:
+        observed = leakage.get("observed_bits", 0.0)
+        bound = leakage.get("static_bound_bits", 0.0)
+        within = bool(leakage.get("within_bound",
+                                  observed <= bound + 1e-9))
+        ok = ok and within
+        lines.append(
+            f"leakage verdict: observed {leakage.get('observed_variations', 0)} "
+            f"deadline sequence(s) = {observed:.3f} bits "
+            f"{'<=' if within else '>'} static Theorem 2 bound "
+            f"{bound:.3f} bits: {'ok' if within else 'VIOLATED'}"
+        )
+    else:
+        lines.append("leakage verdict: n/a (document has no leakage section)")
+    return lines, ok
+
+
+def _journal_report(records: List[Dict[str, Any]]) -> Tuple[List[str], bool]:
+    spans = spans_from_journal(records)
+    runs = [s for s in spans if s.category == CATEGORY_RUN]
+    epochs = [s for s in spans if s.category == CATEGORY_MITIGATE]
+    lines: List[str] = []
+    final = sum(s.duration or 0 for s in runs)
+    lines.append(f"runs: {len(runs)}   final clock total: {final} cycles "
+                 f"({len(records)} journal record(s))")
+
+    lines.append("")
+    lines.append("time sinks (top first):")
+    padding = sum(s.attrs.get("padding", 0) for s in epochs)
+    epoch_cycles = sum(s.duration or 0 for s in epochs)
+    sinks = [
+        ("inside mitigate epochs", epoch_cycles),
+        ("padding (mitigate stretch)", padding),
+        ("outside mitigate epochs", final - epoch_cycles),
+    ]
+    for name, cycles in sorted(sinks, key=lambda kv: -kv[1]):
+        lines.append(f"  {_fmt_share(cycles, final)}  {cycles:>12}  {name}")
+
+    if epochs:
+        lines.append("")
+        lines.append("mitigate sites (padding breakdown):")
+        per_site: Dict[str, List[Span]] = {}
+        for span in epochs:
+            per_site.setdefault(span.name, []).append(span)
+        for mit_id, site_spans in sorted(per_site.items()):
+            total = sum(s.duration or 0 for s in site_spans)
+            pad = sum(s.attrs.get("padding", 0) for s in site_spans)
+            durations = {s.duration for s in site_spans}
+            lines.append(
+                f"  {mit_id}: {len(site_spans)} completions, "
+                f"{total} cycles total, {pad} padding"
+                + (f" ({pad / total:.1%})" if total else "")
+                + f", {len(durations)} distinct duration(s)"
+            )
+
+    lines.append("")
+    lines.append("Miss trajectory per level:")
+    trajectories: Dict[str, List[int]] = {}
+    for record in records:
+        if record.get("type") == "miss_update":
+            trajectories.setdefault(record["level"], []).append(
+                record["misses"]
+            )
+    if trajectories:
+        for level, values in sorted(trajectories.items()):
+            lines.append(_trajectory_line(level, values))
+    else:
+        lines.append("  (no mispredictions recorded)")
+
+    samples: Dict[str, int] = {}
+    stats: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") == "attack_sample":
+            samples[record["attack"]] = samples.get(record["attack"], 0) + 1
+        elif record.get("type") == "attack_stat":
+            stats.setdefault(record["attack"], {})[record["stat"]] = (
+                record["value"]
+            )
+    if samples or stats:
+        lines.append("")
+        lines.append("adversary activity:")
+        for attack in sorted(set(samples) | set(stats)):
+            shown = ", ".join(
+                f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(stats.get(attack, {}).items())
+            )
+            lines.append(f"  {attack}: {samples.get(attack, 0)} timing "
+                         f"sample(s){'; ' + shown if shown else ''}")
+
+    lines.append("")
+    lines.append("leakage verdict: n/a (journals carry the raw stream; "
+                 "run with --metrics-out for the Theorem 2 account)")
+    return lines, True
+
+
+def render_report(doc: Mapping[str, Any],
+                  source: Optional[str] = None) -> Tuple[List[str], bool]:
+    """Render the audit report for a loaded document.
+
+    Returns ``(lines, ok)``; ``ok`` is False exactly when the document
+    records a violated bound -- a dynamic-leakage account exceeding its
+    static Theorem 2 bound, or a ``sweep`` section where the measured
+    ``Q`` beat ``log2 |V|``.
+    """
+    schema = doc.get("schema")
+    header = f"repro audit report (schema {schema or 'unknown'})"
+    if source:
+        header += f" -- {source}"
+    lines = [header, "=" * len(header)]
+    if "journal" in doc:
+        body, ok = _journal_report(doc["journal"])
+    elif "counters" in doc or "timing" in doc:
+        body, ok = _metrics_report(doc)
+    else:
+        raise ReportError(
+            "document is neither a repro.telemetry metrics JSON nor an "
+            "event journal"
+        )
+    return lines + body, ok

@@ -5,6 +5,7 @@ tables and figures), so its formatting utilities get tests too.
 """
 
 import importlib.util
+import json
 import os
 import sys
 
@@ -43,6 +44,41 @@ class TestReport:
         assert _report.series_constant([3, 3, 3])
         assert not _report.series_constant([3, 4])
         assert _report.mean([1, 2, 3]) == 2
+
+
+class TestArtifactWriters:
+    def test_write_metrics_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(_report, "RESULTS_DIR", str(tmp_path))
+        payload = {"schema": "repro.telemetry/1", "runs": 2,
+                   "counters": {"steps": 7}}
+        path = _report.write_metrics("demo", payload)
+        assert path == str(tmp_path / "demo_metrics.json")
+        with open(path) as handle:
+            assert json.load(handle) == payload
+
+    def test_write_trace_produces_chrome_trace(self, tmp_path, monkeypatch):
+        from repro.telemetry import Span
+
+        monkeypatch.setattr(_report, "RESULTS_DIR", str(tmp_path))
+        spans = [
+            Span(span_id=1, parent_id=None, track=0, name="run",
+                 category="run", start=0, end=100),
+            Span(span_id=2, parent_id=1, track=0, name="mitigate m1",
+                 category="mitigate", start=10, end=90),
+        ]
+        path = _report.write_trace("demo", spans)
+        assert path == str(tmp_path / "demo_trace.json")
+        with open(path) as handle:
+            doc = json.load(handle)
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases.count("B") == len(spans)
+        assert phases.count("B") == phases.count("E")
+
+    def test_writers_create_results_dir(self, tmp_path, monkeypatch):
+        target = tmp_path / "fresh" / "results"
+        monkeypatch.setattr(_report, "RESULTS_DIR", str(target))
+        _report.write_metrics("demo", {"runs": 0})
+        assert target.is_dir()
 
 
 class TestAsciiPlot:

@@ -1,8 +1,14 @@
 """The command-line interface (python -m repro)."""
 
+import json
+import os
+
 import pytest
 
+from repro import __version__
 from repro.cli import main
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
 
 LEAKY = "while h > 0 do { h := h - 1 };\nready := 1\n"
 MITIGATED = (
@@ -116,6 +122,87 @@ class TestLeakage:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Q        = 3.000 bits" in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert f"repro {__version__}" in out
+
+    def test_version_matches_package_metadata(self):
+        # The single source of truth is the installed distribution
+        # metadata, not a hand-maintained string.
+        assert __version__ == "1.0.0"
+
+
+class TestReport:
+    @pytest.fixture()
+    def metrics_doc(self, mitigated, tmp_path):
+        path = tmp_path / "metrics.json"
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0",
+                   "--metrics-out", str(path)])
+        assert rc == 0
+        return path
+
+    def test_report_on_run_metrics(self, metrics_doc, capsys):
+        capsys.readouterr()
+        rc = main(["report", str(metrics_doc)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mitigate sites" in out
+        assert "leakage verdict" in out
+        assert "static Theorem 2 bound" in out
+        assert ": ok" in out
+
+    def test_report_on_journal(self, mitigated, capsys, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0",
+                   "--journal-out", str(journal)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["report", str(journal)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mitigate sites" in out
+        assert "time sinks (top first):" in out
+
+    def test_report_on_committed_bench_metrics(self, capsys):
+        path = os.path.join(REPO_ROOT, "benchmarks", "results",
+                            "fig7_metrics.json")
+        if not os.path.exists(path):
+            pytest.skip("benches not yet run in this checkout")
+        rc = main(["report", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "leakage verdict" in out
+        assert "VIOLATED" not in out
+
+    def test_violated_bound_exits_one(self, metrics_doc, capsys):
+        doc = json.loads(metrics_doc.read_text())
+        doc["leakage"]["within_bound"] = False
+        doc["leakage"]["observed_bits"] = 99.0
+        metrics_doc.write_text(json.dumps(doc))
+        capsys.readouterr()
+        rc = main(["report", str(metrics_doc)])
+        assert rc == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        rc = main(["report", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "repro report:" in capsys.readouterr().err
+
+    def test_non_telemetry_document_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        rc = main(["report", str(path)])
+        assert rc == 2
+        assert "repro report:" in capsys.readouterr().err
 
 
 class TestContract:

@@ -91,12 +91,17 @@ class TestDocsConsistency:
         if not os.path.isdir(results):
             pytest.skip("benches not yet run in this checkout")
         produced = set(os.listdir(results))
-        # Every results file is either a Report's .txt or a telemetry
-        # metrics document (schema repro.telemetry/1, see docs/TELEMETRY.md).
+        # Every results file is a Report's .txt, a telemetry metrics
+        # document, or a Chrome trace-event timeline (schema
+        # repro.telemetry/1, see docs/TELEMETRY.md).
         assert produced
         for name in produced:
-            assert name.endswith(".txt") or name.endswith("_metrics.json")
-        # Each metrics document sits next to its report.
+            assert (name.endswith(".txt")
+                    or name.endswith("_metrics.json")
+                    or name.endswith("_trace.json"))
+        # Each telemetry artifact sits next to its report.
         for name in produced:
             if name.endswith("_metrics.json"):
                 assert name.replace("_metrics.json", ".txt") in produced
+            elif name.endswith("_trace.json"):
+                assert name.replace("_trace.json", ".txt") in produced

@@ -3,7 +3,8 @@
 Three groups:
 
 * **non-interference regression** -- running with no recorder, with the
-  shared ``NULL_RECORDER``, and with a full ``RecordingTraceRecorder`` must
+  shared ``NULL_RECORDER``, with a full ``RecordingTraceRecorder``, with a
+  ``SpanRecorder``, and with a journaling ``TeeRecorder`` fan-out must all
   produce byte-identical ``ExecutionResult``s over a fixed corpus of
   generated programs (recorders are observers, never participants);
 * **unit accounting** -- the registry's counters/gauges/histograms/series,
@@ -14,6 +15,7 @@ Three groups:
 
 import json
 import math
+import os
 import random
 
 import pytest
@@ -27,10 +29,13 @@ from repro.semantics.mitigation import MitigationState
 from repro.telemetry import (
     NULL_RECORDER,
     DynamicLeakageMeter,
+    EventJournal,
     LeakageBoundViolation,
     MetricsRegistry,
     RecordingTraceRecorder,
     SCHEMA,
+    SpanRecorder,
+    TeeRecorder,
 )
 from repro.testing import GeneratorConfig, ProgramGenerator, standard_gamma
 from repro.typesystem import TypingError, infer_labels, typecheck
@@ -97,7 +102,13 @@ class TestNonInterference:
             recorded = _run(
                 program, info, memory, RecordingTraceRecorder()
             )
-            for other in (null, recorded):
+            spanned = _run(program, info, memory, SpanRecorder())
+            teed = _run(
+                program, info, memory,
+                TeeRecorder(RecordingTraceRecorder(),
+                            SpanRecorder(journal=EventJournal())),
+            )
+            for other in (null, recorded, spanned, teed):
                 assert other.time == bare.time
                 assert other.steps == bare.steps
                 assert other.events == bare.events
@@ -300,3 +311,79 @@ class TestCli:
                    "--hardware", "partitioned"])
         assert rc == 0
         assert "telemetry:" not in capsys.readouterr().out
+
+    def test_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        example = os.path.join(os.path.dirname(__file__), "..",
+                               "examples", "mitigate_demo.tl")
+        out_path = tmp_path / "trace.json"
+        rc = main(["run", example, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0",
+                   "--trace-out", str(out_path)])
+        assert rc == 0
+        assert "trace written to" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        # Chrome trace-event invariants: balanced B/E pairs, monotone
+        # timestamps per track.
+        depth, last = {}, {}
+        for event in doc["traceEvents"]:
+            if event["ph"] not in ("B", "E"):
+                continue
+            tid = event["tid"]
+            assert event["ts"] >= last.get(tid, 0)
+            last[tid] = event["ts"]
+            depth[tid] = depth.get(tid, 0) + (1 if event["ph"] == "B"
+                                              else -1)
+            assert depth[tid] >= 0
+        assert depth and all(v == 0 for v in depth.values())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert {"run", "mitigate", "padding"} <= cats
+
+    def test_journal_out_streams_jsonl(self, mitigated, capsys, tmp_path):
+        out_path = tmp_path / "journal.jsonl"
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0",
+                   "--journal-out", str(out_path)])
+        assert rc == 0
+        assert "journal written to" in capsys.readouterr().out
+        records = [json.loads(line)
+                   for line in out_path.read_text().splitlines()]
+        assert records[0] == {"type": "header", "schema": SCHEMA,
+                              "kind": "journal"}
+        kinds = {r["type"] for r in records}
+        assert {"run_start", "span", "miss_update", "run_end"} <= kinds
+
+    def test_trace_out_composes_with_metrics(self, mitigated, tmp_path):
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0",
+                   "--trace-out", str(trace_path),
+                   "--metrics-out", str(metrics_path)])
+        assert rc == 0
+        trace = json.loads(trace_path.read_text())
+        metrics = json.loads(metrics_path.read_text())
+        # Both sinks saw the same execution: the run span's final time is
+        # the metrics document's final clock.
+        run_end = max(e["ts"] for e in trace["traceEvents"]
+                      if e["ph"] == "E" and e.get("cat") == "run")
+        assert run_end == metrics["timing"]["final_cycles"]
+
+    def test_leakage_metrics_out_covers_the_sweep(self, mitigated, capsys,
+                                                  tmp_path):
+        out_path = tmp_path / "sweep.json"
+        rc = main(["leakage", mitigated, "--gamma", "h=H,ready=L",
+                   "--secret", "h", "--values", "0..8",
+                   "--hardware", "null", "--trace",
+                   "--metrics-out", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == SCHEMA
+        # One document for the whole sweep: 8 variants x (Definition 1 +
+        # Definition 2 passes) = 16 runs.
+        assert doc["runs"] == 16
+        assert doc["sweep"]["secret"] == "h"
+        assert doc["sweep"]["values"] == [0, 8]
+        assert doc["sweep"]["theorem2_holds"] is True
+        assert doc["leakage"]["within_bound"] is True
