@@ -1,0 +1,43 @@
+"""Static analysis over the security-typed language.
+
+The type system (Fig. 4) stops at the first violation; this package turns
+it into a multi-pass *lint engine* that reports every finding in one run:
+
+* :mod:`.diagnostics` -- the :class:`Diagnostic` model: stable ``TL0xx``
+  rule codes, severities, source spans, optional fix-its;
+* :mod:`.rules` -- the rule registry (catalog in ``docs/ANALYSIS.md``);
+* :mod:`.collector` -- an error-recovery driver around
+  :class:`repro.typesystem.typing.TypeChecker` that records each failed
+  side condition and continues with the rule's natural recovery label;
+* :mod:`.lints` -- timing-channel lints beyond the type system
+  (secret-dependent sleeps, degenerate or redundant mitigations, ...);
+* :mod:`.audit` -- the static Theorem 2 leakage audit per mitigate site;
+* :mod:`.render` -- human text (with carets), JSON, and SARIF 2.1.0;
+* :mod:`.engine` -- the driver tying it together (``repro lint``).
+"""
+
+from .audit import LeakageAudit, MitigateSite, audit_leakage
+from .collector import CollectingTypeChecker, collect_typing_diagnostics
+from .diagnostics import Diagnostic, Severity
+from .engine import LintOptions, LintResult, analyze_program, analyze_source
+from .render import render_json, render_sarif, render_text
+from .rules import RULES, Rule
+
+__all__ = [
+    "CollectingTypeChecker",
+    "Diagnostic",
+    "LeakageAudit",
+    "LintOptions",
+    "LintResult",
+    "MitigateSite",
+    "RULES",
+    "Rule",
+    "Severity",
+    "analyze_program",
+    "analyze_source",
+    "audit_leakage",
+    "collect_typing_diagnostics",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

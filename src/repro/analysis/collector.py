@@ -1,0 +1,183 @@
+"""Error recovery around the Fig. 4 type checker.
+
+:class:`repro.typesystem.typing.TypeChecker` reports each failed side
+condition through its ``_violation`` hook and is written so that every rule
+continues naturally with its recovery label (an assignment's end label is
+``Gamma(x)`` whether or not the flow check passed, missing annotations
+recover to bottom, and so on).  :class:`CollectingTypeChecker` overrides
+the hook to record a :class:`~repro.analysis.diagnostics.Diagnostic`
+instead of raising, so **one run surfaces every violation** in a program.
+
+A combined T-ASGN failure is *decomposed*: the rule joins the value label,
+pc, timing start-label, and read label, so this module reports one
+diagnostic per failing source -- explicit flow (TL001), implicit flow
+(TL002), and timing flow (TL003) are distinct findings with distinct fixes.
+
+The while rule iterates its body to a fixpoint, so the same violation can
+recur with successively widened timing labels; diagnostics are deduplicated
+per ``(code, node)``, keeping the first (least-label) report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..lang import ast
+from ..lattice import Label
+from ..typesystem.environment import SecurityEnvironment, UnboundVariable
+from ..typesystem.errors import TypingError
+from ..typesystem.typing import TypeChecker, TypingInfo
+from .diagnostics import Diagnostic, Severity
+from .rules import KIND_CODES, RULES
+
+
+class TolerantEnvironment(SecurityEnvironment):
+    """A Gamma that maps unbound names to bottom instead of raising.
+
+    The lint engine must keep going past a missing binding (the checker
+    would otherwise die mid-derivation); the engine reports each unbound
+    name as a TL009 diagnostic from its own pre-pass, so nothing is lost.
+    """
+
+    def __init__(self, base: SecurityEnvironment):
+        super().__init__(base.lattice, dict(base))
+        self.unbound: Set[str] = set()
+
+    def __getitem__(self, name: str) -> Label:
+        try:
+            return super().__getitem__(name)
+        except UnboundVariable:
+            self.unbound.add(name)
+            return self.lattice.bottom
+
+
+def _span_of(command: Optional[ast.Command]) -> Tuple[ast.Span, Optional[int]]:
+    if isinstance(command, ast.LabeledCommand):
+        return command.span, command.node_id
+    return ast.SYNTHETIC_SPAN, None
+
+
+class CollectingTypeChecker(TypeChecker):
+    """A :class:`TypeChecker` that collects diagnostics instead of raising."""
+
+    def __init__(
+        self,
+        gamma: SecurityEnvironment,
+        require_cache_labels: bool = False,
+    ):
+        super().__init__(gamma, require_cache_labels=require_cache_labels)
+        self.diagnostics: List[Diagnostic] = []
+        self._seen: Set[Tuple[str, Optional[int]]] = set()
+
+    # -- the hook --------------------------------------------------------------
+
+    def _violation(self, err: TypingError) -> None:
+        for diag in self._decompose(err):
+            key = (diag.code, diag.node_id)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.diagnostics.append(diag)
+
+    # -- decomposition ---------------------------------------------------------
+
+    def _emit(self, code: str, message: str,
+              command: Optional[ast.Command]) -> Diagnostic:
+        span, node_id = _span_of(command)
+        rule = RULES[code]
+        return Diagnostic(
+            code=code,
+            message=message,
+            severity=rule.severity,
+            span=span,
+            node_id=node_id,
+            rule=rule.name,
+        )
+
+    def _decompose(self, err: TypingError) -> List[Diagnostic]:
+        if err.kind == "flow":
+            return self._decompose_flow(err)
+        code = KIND_CODES.get(err.kind or "", "TL004")
+        return [self._emit(code, err.message, err.command)]
+
+    def _decompose_flow(self, err: TypingError) -> List[Diagnostic]:
+        data = err.data
+        target: Label = data["target"]
+        name = data["name"]
+        value: Label = data["value"]
+        pc: Label = data["pc"]
+        timing: Label = data["timing"]
+        read_label: Label = data["read_label"]
+        out = []
+        if not value.flows_to(target):
+            out.append(self._emit(
+                "TL001",
+                f"explicit flow: value at {value} does not flow to "
+                f"{name} at {target}",
+                err.command,
+            ))
+        if not pc.flows_to(target):
+            out.append(self._emit(
+                "TL002",
+                f"implicit flow: assignment to {name} at {target} under "
+                f"confidential control flow (pc = {pc})",
+                err.command,
+            ))
+        taint = self.lattice.join(timing, read_label)
+        if not taint.flows_to(target):
+            out.append(self._emit(
+                "TL003",
+                f"timing flow: the timing start-label {timing} (with read "
+                f"label {read_label}) carries timing-tainted information "
+                f"into {name} at {target}; wrap the timing-variable code "
+                "in a mitigate command",
+                err.command,
+            ))
+        # The join can only exceed the target if some component does.
+        assert out, "flow violation with no failing component"
+        return out
+
+
+def collect_typing_diagnostics(
+    program: ast.Command,
+    gamma: SecurityEnvironment,
+    pc: Optional[Label] = None,
+    start: Optional[Label] = None,
+    require_cache_labels: bool = False,
+) -> Tuple[List[Diagnostic], TypingInfo]:
+    """Check ``program`` and return *all* typing diagnostics plus the
+    (recovered) derivation facts.  Never raises :class:`TypingError`."""
+    checker = CollectingTypeChecker(
+        gamma, require_cache_labels=require_cache_labels
+    )
+    info = checker.run(program, pc, start)
+    return checker.diagnostics, info
+
+
+def unbound_variable_diagnostics(
+    program: ast.Command, gamma: SecurityEnvironment
+) -> List[Diagnostic]:
+    """TL009 for every program variable Gamma does not bind, reported at
+    the first command that mentions it."""
+    out: List[Diagnostic] = []
+    reported: Set[str] = set()
+    for cmd in program.walk():
+        if not isinstance(cmd, ast.LabeledCommand):
+            continue
+        for name in sorted(cmd.vars1()):
+            if name in reported or name in gamma:
+                continue
+            reported.add(name)
+            rule = RULES["TL009"]
+            out.append(Diagnostic(
+                code="TL009",
+                message=(
+                    f"variable {name!r} has no security label in Gamma; "
+                    "assuming public (bottom) -- bind it with --gamma or "
+                    "a '// gamma:' directive"
+                ),
+                severity=Severity.ERROR,
+                span=cmd.span,
+                node_id=cmd.node_id,
+                rule=rule.name,
+            ))
+    return out

@@ -1,0 +1,94 @@
+"""The diagnostic model: what a lint finding *is*.
+
+A :class:`Diagnostic` pins a rule code (``TL0xx``, see
+:mod:`repro.analysis.rules`) to a source region with a severity, an
+explanatory message, and an optional *fix-it* -- replacement source text
+that, substituted for the flagged region, resolves the finding.  The
+renderers (:mod:`repro.analysis.render`) know nothing about how findings
+were produced; everything they need lives here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..lang.ast import SYNTHETIC_SPAN, Span
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Order matters: errors sort first."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` for this severity."""
+        return {"error": "error", "warning": "warning", "info": "note"}[
+            self.value
+        ]
+
+    @property
+    def rank(self) -> int:
+        return ("error", "warning", "info").index(self.value)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding, anchored to a source span."""
+
+    code: str
+    message: str
+    severity: Severity
+    span: Span = SYNTHETIC_SPAN
+    node_id: Optional[int] = None
+    path: Optional[str] = None
+    #: Replacement source for the flagged region that resolves the finding.
+    fix: Optional[str] = None
+    rule: Optional[str] = field(default=None)
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.path or "",
+            self.span.line,
+            self.span.column,
+            self.severity.rank,
+            self.code,
+        )
+
+    def location(self) -> str:
+        """``path:line:col`` (parts omitted when unknown)."""
+        where = self.path or "<program>"
+        if not self.span.is_synthetic:
+            where += f":{self.span.line}:{self.span.column}"
+        elif self.node_id is not None:
+            where += f":node#{self.node_id}"
+        return where
+
+    def as_dict(self) -> dict:
+        doc = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "span": {
+                "line": self.span.line,
+                "column": self.span.column,
+                "end_line": self.span.end_line,
+                "end_column": self.span.end_column,
+            },
+        }
+        if self.rule:
+            doc["rule"] = self.rule
+        if self.path is not None:
+            doc["path"] = self.path
+        if self.node_id is not None:
+            doc["node_id"] = self.node_id
+        if self.fix is not None:
+            doc["fix"] = self.fix
+        return doc

@@ -1,0 +1,272 @@
+"""The lint driver: directives, passes, and the per-file pipeline.
+
+``repro lint`` runs this over one or more program files.  Fixture and
+example programs declare their own analysis configuration in leading
+``//`` comment directives, so a corpus sweep needs no per-file flags::
+
+    // gamma: h=H, l=L
+    // levels: L,M,H
+    // adversary: L
+    // infer: off
+    // require-cache-labels
+
+The pipeline per file: parse directives -> parse program (a syntax error
+becomes a TL000 diagnostic) -> report unbound variables (TL009) against a
+tolerant Gamma -> optional label inference -> the error-recovering type
+check (TL001-TL008) -> AST lints (TL010+) -> static Theorem 2 audit.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import ast
+from ..lang.lexer import LexError
+from ..lang.parser import DEFAULT_LATTICE, ParseError, parse
+from ..lattice import Label, Lattice, chain
+from ..typesystem.environment import SecurityEnvironment
+from ..typesystem.inference import infer_labels
+from ..typesystem.typing import TypingInfo
+from .audit import DEFAULT_HORIZON, LeakageAudit, audit_leakage
+from .collector import (
+    TolerantEnvironment,
+    collect_typing_diagnostics,
+    unbound_variable_diagnostics,
+)
+from .diagnostics import Diagnostic, Severity
+from .lints import LintContext, run_lints
+from .rules import RULES
+
+
+class DirectiveError(ValueError):
+    """A malformed ``//`` analysis directive."""
+
+
+@dataclass
+class LintOptions:
+    """Configuration for one analysis run (CLI flags override directives)."""
+
+    gamma: Dict[str, str] = field(default_factory=dict)
+    levels: Optional[Tuple[str, ...]] = None
+    adversary: Optional[str] = None
+    infer: bool = True
+    require_cache_labels: bool = False
+    lints: bool = True
+    audit: bool = True
+    horizon: int = DEFAULT_HORIZON
+
+
+@dataclass
+class LintResult:
+    """Everything one file's analysis produced."""
+
+    path: str
+    source: str
+    diagnostics: List[Diagnostic]
+    audit: Optional[LeakageAudit] = None
+    program: Optional[ast.Command] = None
+    gamma: Optional[SecurityEnvironment] = None
+    lattice: Optional[Lattice] = None
+    typing: Optional[TypingInfo] = None
+
+    @property
+    def fatal(self) -> bool:
+        """True when the input could not even be parsed (TL000)."""
+        return any(d.code == "TL000" for d in self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+
+# -- directives ----------------------------------------------------------------
+
+_DIRECTIVE = re.compile(r"^//\s*(gamma|levels|adversary|infer)\s*:\s*(.+)$")
+_FLAG = re.compile(r"^//\s*(require-cache-labels)\s*$")
+
+
+def parse_directives(source: str) -> Dict[str, str]:
+    """Read ``// key: value`` analysis directives from the file header.
+
+    Scanning stops at the first non-comment, non-blank line; ordinary
+    comments are ignored.
+    """
+    found: Dict[str, str] = {}
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if not stripped.startswith("//"):
+            break
+        match = _DIRECTIVE.match(stripped)
+        if match:
+            found[match.group(1)] = match.group(2).strip()
+            continue
+        match = _FLAG.match(stripped)
+        if match:
+            found[match.group(1)] = "on"
+    return found
+
+
+def _parse_gamma_spec(spec: str, lattice: Lattice) -> Dict[str, Label]:
+    bindings: Dict[str, Label] = {}
+    for item in filter(None, (part.strip() for part in spec.split(","))):
+        if "=" not in item:
+            raise DirectiveError(
+                f"gamma entries look like name=LEVEL, got {item!r}"
+            )
+        name, level = (s.strip() for s in item.split("=", 1))
+        if level not in lattice:
+            raise DirectiveError(
+                f"unknown security level {level!r}; lattice levels are "
+                f"{[l.name for l in lattice]}"
+            )
+        bindings[name] = lattice[level]
+    return bindings
+
+
+_POSITION = re.compile(r"line (\d+)(?:, column (\d+))?")
+
+
+def _syntax_diagnostic(err: Exception, path: str) -> Diagnostic:
+    message = str(err)
+    span = ast.SYNTHETIC_SPAN
+    match = _POSITION.search(message)
+    if match:
+        line = int(match.group(1))
+        column = int(match.group(2) or 1)
+        span = ast.Span(line, column, line, column + 1)
+    return Diagnostic(
+        code="TL000",
+        message=message,
+        severity=Severity.ERROR,
+        span=span,
+        path=path,
+        rule=RULES["TL000"].name,
+    )
+
+
+# -- the pipeline --------------------------------------------------------------
+
+
+def analyze_source(
+    source: str,
+    path: str = "<stdin>",
+    options: Optional[LintOptions] = None,
+) -> LintResult:
+    """Run the full multi-pass analysis over one program's source text."""
+    options = options or LintOptions()
+    directives = parse_directives(source)
+
+    levels = options.levels
+    if levels is None and "levels" in directives:
+        levels = tuple(
+            name.strip() for name in directives["levels"].split(",")
+        )
+    lattice = chain(levels) if levels else DEFAULT_LATTICE
+
+    bindings: Dict[str, Label] = {}
+    if "gamma" in directives:
+        bindings.update(_parse_gamma_spec(directives["gamma"], lattice))
+    for name, level in options.gamma.items():
+        if level not in lattice:
+            raise DirectiveError(
+                f"unknown security level {level!r}; lattice levels are "
+                f"{[l.name for l in lattice]}"
+            )
+        bindings[name] = lattice[level]
+
+    infer = options.infer and directives.get("infer", "on") != "off"
+    require_cache = (
+        options.require_cache_labels
+        or "require-cache-labels" in directives
+    )
+    adversary_name = options.adversary or directives.get("adversary")
+    if adversary_name is not None and adversary_name not in lattice:
+        raise DirectiveError(
+            f"unknown adversary level {adversary_name!r}"
+        )
+    adversary = lattice[adversary_name] if adversary_name else None
+
+    try:
+        program = parse(source, lattice)
+    except (LexError, ParseError) as err:
+        return LintResult(
+            path=path, source=source,
+            diagnostics=[_syntax_diagnostic(err, path)],
+            lattice=lattice,
+        )
+
+    return _analyze(
+        program, SecurityEnvironment(lattice, bindings), lattice,
+        path=path, source=source, infer=infer,
+        require_cache_labels=require_cache, adversary=adversary,
+        options=options,
+    )
+
+
+def analyze_program(
+    program: ast.Command,
+    gamma: SecurityEnvironment,
+    options: Optional[LintOptions] = None,
+    path: str = "<program>",
+) -> LintResult:
+    """Analyze an already-built (or already-parsed) AST."""
+    options = options or LintOptions()
+    adversary = (
+        gamma.lattice[options.adversary] if options.adversary else None
+    )
+    return _analyze(
+        program, gamma, gamma.lattice, path=path, source="",
+        infer=options.infer,
+        require_cache_labels=options.require_cache_labels,
+        adversary=adversary, options=options,
+    )
+
+
+def _analyze(
+    program: ast.Command,
+    gamma: SecurityEnvironment,
+    lattice: Lattice,
+    path: str,
+    source: str,
+    infer: bool,
+    require_cache_labels: bool,
+    adversary: Optional[Label],
+    options: LintOptions,
+) -> LintResult:
+    tolerant = TolerantEnvironment(gamma)
+    diagnostics = unbound_variable_diagnostics(program, gamma)
+
+    if infer:
+        infer_labels(program, tolerant)
+
+    typing_diags, info = collect_typing_diagnostics(
+        program, tolerant, require_cache_labels=require_cache_labels
+    )
+    diagnostics.extend(typing_diags)
+
+    if options.lints:
+        ctx = LintContext(
+            program=program, gamma=tolerant, lattice=lattice, typing=info
+        )
+        diagnostics.extend(run_lints(ctx))
+
+    for diag in diagnostics:
+        diag.path = path
+    diagnostics.sort(key=Diagnostic.sort_key)
+
+    audit = None
+    if options.audit:
+        audit = audit_leakage(
+            program, lattice, info,
+            adversary=adversary, horizon=options.horizon,
+        )
+
+    return LintResult(
+        path=path, source=source, diagnostics=diagnostics,
+        audit=audit, program=program, gamma=tolerant,
+        lattice=lattice, typing=info,
+    )

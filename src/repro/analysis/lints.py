@@ -1,0 +1,281 @@
+"""Timing-channel lints beyond the Fig. 4 type system (TL010-TL016).
+
+These rules flag programs that *typecheck* but spend the Theorem 2 leakage
+budget badly (redundant or useless mitigations, degenerate budgets), leak
+through channels the paper calls out directly (secret-dependent sleeps,
+secret-guarded loops), or contain dead weight (unused variables,
+unreachable commands).  Each rule is a generator over a shared
+:class:`LintContext`; registration happens in :data:`LINT_PASSES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..lang import ast
+from ..lang.pretty import pretty, pretty_expr
+from ..lattice import Lattice
+from ..semantics.core import _apply as _apply_binop
+from ..typesystem.environment import SecurityEnvironment
+from ..typesystem.typing import TypingInfo
+from .diagnostics import Diagnostic
+from .rules import RULES
+
+
+@dataclass
+class LintContext:
+    """Everything a lint pass may consult."""
+
+    program: ast.Command
+    gamma: SecurityEnvironment
+    lattice: Lattice
+    typing: TypingInfo
+
+
+def _diag(code: str, message: str, cmd: ast.LabeledCommand,
+          fix: Optional[str] = None) -> Diagnostic:
+    rule = RULES[code]
+    return Diagnostic(
+        code=code,
+        message=message,
+        severity=rule.severity,
+        span=cmd.span,
+        node_id=cmd.node_id,
+        rule=rule.name,
+        fix=fix,
+    )
+
+
+def const_value(expr: ast.Expr) -> Optional[int]:
+    """Evaluate a constant expression under the language's own operator
+    semantics (shared with the interpreter), or None if it reads memory."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.UnOp):
+        v = const_value(expr.operand)
+        if v is None:
+            return None
+        return -v if expr.op == "-" else int(v == 0)
+    if isinstance(expr, ast.BinOp):
+        left = const_value(expr.left)
+        right = const_value(expr.right)
+        if left is None or right is None:
+            return None
+        return _apply_binop(expr.op, left, right)
+    return None
+
+
+# -- TL010: secret-dependent sleep -------------------------------------------
+
+
+def lint_secret_sleep(ctx: LintContext) -> Iterator[Diagnostic]:
+    bottom = ctx.lattice.bottom
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.Sleep):
+            continue
+        label = ctx.gamma.label_of_expr(cmd.duration)
+        if label == bottom:
+            continue
+        fix = (
+            f"mitigate(1, {label.name}) {{ {pretty(cmd)} }}"
+        )
+        yield _diag(
+            "TL010",
+            f"sleep duration {pretty_expr(cmd.duration)!r} is at {label}: "
+            "the suspension time directly reveals it to a timing observer; "
+            "mitigate the sleep or make the duration public",
+            cmd,
+            fix=fix,
+        )
+
+
+# -- TL011: degenerate mitigate budget ---------------------------------------
+
+
+def lint_degenerate_budget(ctx: LintContext) -> Iterator[Diagnostic]:
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.Mitigate):
+            continue
+        value = const_value(cmd.budget)
+        if value is None or value > 0:
+            continue
+        fixed = ast.Mitigate(
+            budget=ast.IntLit(1), level=cmd.level, body=cmd.body,
+            mit_id=None if cmd.auto_id else cmd.mit_id,
+            read_label=cmd.read_label, write_label=cmd.write_label,
+        )
+        yield _diag(
+            "TL011",
+            f"mitigate budget is constantly {value}: the initial "
+            "prediction can never be met, so the first epoch is missed "
+            "immediately and one doubling of the Miss counter is wasted",
+            cmd,
+            fix=pretty(fixed),
+        )
+
+
+# -- TL012: redundant nested mitigate ----------------------------------------
+
+
+def lint_redundant_mitigate(ctx: LintContext) -> Iterator[Diagnostic]:
+    def walk(cmd: ast.Command,
+             enclosing: Tuple[ast.Mitigate, ...]) -> Iterator[Diagnostic]:
+        if isinstance(cmd, ast.Mitigate):
+            for outer in enclosing:
+                if cmd.level.flows_to(outer.level):
+                    yield _diag(
+                        "TL012",
+                        f"mitigate at level {cmd.level} is nested inside a "
+                        f"mitigate at level {outer.level} that already "
+                        "bounds it; the inner command only inflates the "
+                        "Theorem 2 site count K (|L^|*log(K+1)*(1+log T)) "
+                        "without tightening the bound",
+                        cmd,
+                    )
+                    break
+            enclosing = enclosing + (cmd,)
+        for sub in cmd.subcommands():
+            yield from walk(sub, enclosing)
+
+    yield from walk(ctx.program, ())
+
+
+# -- TL013: secret-guarded while loop ----------------------------------------
+
+
+def lint_secret_guarded_loop(ctx: LintContext) -> Iterator[Diagnostic]:
+    bottom = ctx.lattice.bottom
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.While):
+            continue
+        label = ctx.gamma.label_of_expr(cmd.cond)
+        if label == bottom:
+            continue
+        yield _diag(
+            "TL013",
+            f"while guard {pretty_expr(cmd.cond)!r} is at {label}: the "
+            "iteration count -- and therefore the loop's timing variation "
+            "-- is unbounded in the secret; any enclosing mitigate must "
+            "absorb it with unbounded padding",
+            cmd,
+        )
+
+
+# -- TL014: useless mitigate --------------------------------------------------
+
+
+def lint_useless_mitigate(ctx: LintContext) -> Iterator[Diagnostic]:
+    join = ctx.lattice.join
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.Mitigate):
+            continue
+        body_end = ctx.typing.mitigate_body_end.get(cmd.mit_id)
+        node_ctx = ctx.typing.node_contexts.get(cmd.node_id)
+        if body_end is None or node_ctx is None or cmd.read_label is None:
+            continue
+        le = ctx.gamma.label_of_expr(cmd.budget)
+        body_start = join(node_ctx.start, le, cmd.read_label)
+        if body_end.flows_to(body_start):
+            yield _diag(
+                "TL014",
+                f"mitigate body's timing end-label {body_end} already "
+                f"flows to its start context {body_start}: the body adds "
+                "no timing information above what the context knows, so "
+                "the padding controls nothing (remove the mitigate, or "
+                "move it around the actually timing-variable code)",
+                cmd,
+                fix=pretty(cmd.body),
+            )
+
+
+# -- TL015: unused variable ----------------------------------------------------
+
+
+def lint_unused_variable(ctx: LintContext) -> Iterator[Diagnostic]:
+    reads: set = set()
+    writes: Dict[str, ast.LabeledCommand] = {}
+    for cmd in ctx.program.walk():
+        if isinstance(cmd, ast.Assign):
+            reads |= cmd.expr.variables()
+            writes.setdefault(cmd.target, cmd)
+        elif isinstance(cmd, ast.ArrayAssign):
+            reads |= cmd.index.variables() | cmd.expr.variables()
+            writes.setdefault(cmd.array, cmd)
+        elif isinstance(cmd, (ast.If, ast.While)):
+            reads |= cmd.cond.variables()
+        elif isinstance(cmd, ast.Sleep):
+            reads |= cmd.duration.variables()
+        elif isinstance(cmd, ast.Mitigate):
+            reads |= cmd.budget.variables()
+    for name in sorted(set(writes) - reads):
+        yield _diag(
+            "TL015",
+            f"variable {name!r} is assigned but never read (if it is an "
+            "output observed outside the program, ignore this)",
+            writes[name],
+        )
+
+
+# -- TL016: unreachable code ---------------------------------------------------
+
+
+def _first_labeled(cmd: ast.Command) -> ast.LabeledCommand:
+    for sub in cmd.walk():
+        if isinstance(sub, ast.LabeledCommand):
+            return sub
+    raise TypeError("command tree with no labeled command")
+
+
+def lint_unreachable(ctx: LintContext) -> Iterator[Diagnostic]:
+    for cmd in ctx.program.walk():
+        if isinstance(cmd, ast.If):
+            value = const_value(cmd.cond)
+            if value is None:
+                continue
+            dead = cmd.else_branch if value else cmd.then_branch
+            which = "else" if value else "then"
+            yield _diag(
+                "TL016",
+                f"if condition is constantly {value}; the {which} branch "
+                "is unreachable",
+                _first_labeled(dead),
+            )
+        elif isinstance(cmd, ast.While):
+            value = const_value(cmd.cond)
+            if value is None:
+                continue
+            if value == 0:
+                yield _diag(
+                    "TL016",
+                    "while guard is constantly 0; the loop body is "
+                    "unreachable",
+                    _first_labeled(cmd.body),
+                )
+            else:
+                yield _diag(
+                    "TL016",
+                    f"while guard is constantly {value}; the loop never "
+                    "terminates and everything after it is unreachable",
+                    cmd,
+                )
+
+
+#: Every AST lint pass, in catalog order.
+LINT_PASSES: Tuple[Callable[[LintContext], Iterator[Diagnostic]], ...] = (
+    lint_secret_sleep,
+    lint_degenerate_budget,
+    lint_redundant_mitigate,
+    lint_secret_guarded_loop,
+    lint_useless_mitigate,
+    lint_unused_variable,
+    lint_unreachable,
+)
+
+
+def run_lints(ctx: LintContext) -> List[Diagnostic]:
+    """Run every registered lint pass over the program."""
+    out: List[Diagnostic] = []
+    for lint in LINT_PASSES:
+        out.extend(lint(ctx))
+    return out

@@ -1,0 +1,176 @@
+"""Renderers for lint results: human text, JSON, and SARIF 2.1.0.
+
+The text renderer excerpts the offending source line with a caret run
+under the flagged span, compiler-style.  The SARIF output follows the
+OASIS 2.1.0 schema shape (tool driver with a rule table, results with
+``ruleId``/``ruleIndex``, physical locations with 1-based regions) so it
+uploads cleanly to code-scanning services.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .audit import LeakageAudit
+from .diagnostics import Diagnostic
+from .rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+# -- text ---------------------------------------------------------------------
+
+
+def _excerpt(diag: Diagnostic, source: str) -> List[str]:
+    lines = source.splitlines()
+    if diag.span.is_synthetic or not (1 <= diag.span.line <= len(lines)):
+        return []
+    text = lines[diag.span.line - 1]
+    col = max(diag.span.column, 1)
+    if diag.span.end_line == diag.span.line:
+        width = max(diag.span.end_column - diag.span.column, 1)
+    else:
+        width = max(len(text) - col + 1, 1)
+    caret = " " * (col - 1) + "^" + "~" * (width - 1)
+    return [f"    {text}", f"    {caret}"]
+
+
+def render_text(
+    diagnostics: Sequence[Diagnostic],
+    sources: Optional[Dict[str, str]] = None,
+    audits: Optional[Dict[str, LeakageAudit]] = None,
+) -> List[str]:
+    """Compiler-style report lines.
+
+    ``sources`` maps path -> source text for line excerpts; ``audits`` maps
+    path -> static leakage audit, appended per file after the findings.
+    """
+    sources = sources or {}
+    out: List[str] = []
+    for diag in diagnostics:
+        rule = f" [{diag.rule}]" if diag.rule else ""
+        out.append(
+            f"{diag.location()}: {diag.severity}[{diag.code}]{rule}: "
+            f"{diag.message}"
+        )
+        if diag.path in sources:
+            out.extend(_excerpt(diag, sources[diag.path]))
+        if diag.fix is not None:
+            fix = diag.fix.replace("\n", "\n    |   ")
+            out.append(f"    | fix: {fix}")
+    counts: Dict[str, int] = {}
+    for diag in diagnostics:
+        counts[diag.severity.value] = counts.get(diag.severity.value, 0) + 1
+    if diagnostics:
+        summary = ", ".join(
+            f"{n} {sev}{'s' if n != 1 else ''}"
+            for sev, n in sorted(counts.items())
+        )
+        out.append(f"{len(diagnostics)} finding"
+                   f"{'s' if len(diagnostics) != 1 else ''} ({summary})")
+    else:
+        out.append("clean: no findings")
+    for path, audit in (audits or {}).items():
+        out.append("")
+        out.append(f"{path}:")
+        out.extend(audit.lines())
+    return out
+
+
+# -- JSON ---------------------------------------------------------------------
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic],
+    audits: Optional[Dict[str, LeakageAudit]] = None,
+) -> dict:
+    """A machine-readable document (schema ``repro.lint/1``)."""
+    doc = {
+        "schema": "repro.lint/1",
+        "diagnostics": [diag.as_dict() for diag in diagnostics],
+        "summary": {
+            "total": len(diagnostics),
+            "by_severity": {},
+            "by_code": {},
+        },
+    }
+    for diag in diagnostics:
+        by_sev = doc["summary"]["by_severity"]
+        by_code = doc["summary"]["by_code"]
+        by_sev[diag.severity.value] = by_sev.get(diag.severity.value, 0) + 1
+        by_code[diag.code] = by_code.get(diag.code, 0) + 1
+    if audits:
+        doc["audit"] = {
+            path: audit.as_dict() for path, audit in audits.items()
+        }
+    return doc
+
+
+# -- SARIF --------------------------------------------------------------------
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> dict:
+    """A SARIF 2.1.0 log with one run covering every analyzed file."""
+    rule_order = list(RULES)
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "help": {"text": f"Paper reference: {rule.paper_ref}. "
+                             "See docs/ANALYSIS.md for the catalog."},
+            "defaultConfiguration": {"level": rule.severity.sarif_level},
+        }
+        for rule in RULES.values()
+    ]
+    results = []
+    for diag in diagnostics:
+        result = {
+            "ruleId": diag.code,
+            "ruleIndex": rule_order.index(diag.code),
+            "level": diag.severity.sarif_level,
+            "message": {"text": diag.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.path or "<program>",
+                    },
+                    "region": {
+                        "startLine": max(diag.span.line, 1),
+                        "startColumn": max(diag.span.column, 1),
+                        "endLine": max(diag.span.end_line, 1),
+                        "endColumn": max(diag.span.end_column, 1),
+                    },
+                },
+            }],
+        }
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/example/repro#static-analysis",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def dump(document: dict, path: Optional[str] = None) -> str:
+    """Serialize a JSON/SARIF document (to ``path`` when given)."""
+    text = json.dumps(document, indent=2, sort_keys=False) + "\n"
+    if path:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

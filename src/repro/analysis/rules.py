@@ -1,0 +1,104 @@
+"""The rule registry: every ``TL0xx`` code the lint engine can emit.
+
+Codes are stable public API -- tools (SARIF consumers, CI gates, suppression
+lists) key on them, so codes are never renumbered or reused.  TL001-TL009
+are the Fig. 4 type-system rules surfaced by the error-recovery collector;
+TL010+ are timing-channel lints that go beyond the type system.  The full
+catalog with examples lives in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one lint rule."""
+
+    code: str
+    name: str
+    summary: str
+    severity: Severity
+    paper_ref: str
+
+
+_RULES = (
+    Rule("TL000", "syntax-error",
+         "The program does not parse.",
+         Severity.ERROR, "Fig. 1 grammar"),
+    Rule("TL001", "explicit-flow",
+         "An expression's value flows to a variable below its label.",
+         Severity.ERROR, "Sec. 5.1, T-ASGN (value label)"),
+    Rule("TL002", "implicit-flow",
+         "A branch on confidential data assigns below the pc label.",
+         Severity.ERROR, "Sec. 5.1, T-ASGN (pc label)"),
+    Rule("TL003", "timing-flow",
+         "Timing-tainted information flows into a lower assignment; the "
+         "timing-variable code needs a mitigate command.",
+         Severity.ERROR, "Sec. 5.1, T-ASGN (timing start-label)"),
+    Rule("TL004", "write-label",
+         "A command's context would imprint confidential control flow on "
+         "machine-environment state below pc (pc must flow to lw).",
+         Severity.ERROR, "Sec. 2.2 / Sec. 5.1, every rule's pc <= lw"),
+    Rule("TL005", "mitigate-level",
+         "A mitigate level fails to bound its body's timing end-label.",
+         Severity.ERROR, "Sec. 5.1, T-MTG"),
+    Rule("TL006", "array-index-leak",
+         "An array index's label does not flow to the accessing command's "
+         "write label; the element's address leaks into lower cache state.",
+         Severity.ERROR, "array extension of Sec. 5.1"),
+    Rule("TL007", "missing-label",
+         "A command has no read/write timing labels and inference was off.",
+         Severity.ERROR, "Sec. 2.2 (labels may be inferred)"),
+    Rule("TL008", "cache-label",
+         "Commodity hardware requires lr = lw on every command.",
+         Severity.ERROR, "Sec. 8.1"),
+    Rule("TL009", "unbound-variable",
+         "A variable has no security label in Gamma; it was assumed public "
+         "(bottom), which may mask real flows.",
+         Severity.ERROR, "Sec. 5.1 (Gamma)"),
+    Rule("TL010", "secret-sleep",
+         "A sleep duration depends on confidential data; the suspension "
+         "time is directly observable.",
+         Severity.WARNING, "Sec. 3.2, T-SLEEP / Property 4"),
+    Rule("TL011", "degenerate-budget",
+         "A mitigate budget is constantly <= 0: the first epoch's "
+         "prediction is missed immediately, wasting one doubling.",
+         Severity.WARNING, "Sec. 6.2 (fast doubling)"),
+    Rule("TL012", "redundant-mitigate",
+         "A mitigate is nested inside another whose level already bounds "
+         "it; it inflates the Theorem 2 site count K for no benefit.",
+         Severity.WARNING, "Sec. 7, Theorem 2 (|L^|*log(K+1) term)"),
+    Rule("TL013", "secret-guarded-loop",
+         "A while guard depends on confidential data: iteration count, and "
+         "thus timing variation, is unbounded.",
+         Severity.WARNING, "Sec. 2.1 (RSA/login examples)"),
+    Rule("TL014", "useless-mitigate",
+         "A mitigate body's timing end-label already flows to its start "
+         "context: the padding controls no additional information.",
+         Severity.WARNING, "Sec. 7, Theorem 2 corollary"),
+    Rule("TL015", "unused-variable",
+         "A variable is assigned but never read.",
+         Severity.INFO, "hygiene"),
+    Rule("TL016", "unreachable-code",
+         "A constant guard makes a branch or loop body unreachable (or a "
+         "loop non-terminating).",
+         Severity.WARNING, "hygiene"),
+)
+
+#: Rule code -> :class:`Rule`, in catalog order.
+RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULES}
+
+#: ``TypingError.kind`` -> rule code, for the single-code kinds.  The
+#: ``"flow"`` kind is decomposed per failing source by the collector.
+KIND_CODES: Dict[str, str] = {
+    "write-label": "TL004",
+    "mitigate-level": "TL005",
+    "array-index": "TL006",
+    "missing-label": "TL007",
+    "cache-label": "TL008",
+}

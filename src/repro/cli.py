@@ -8,6 +8,20 @@ check
 
         python -m repro check prog.tl --gamma h=H,l=L
 
+    ``--all`` switches to the error-recovering checker, printing *every*
+    type-system violation with ``line:col`` spans instead of stopping at
+    the first.
+
+lint
+    Run the full static-analysis engine: all type-system violations plus
+    the timing-channel lints (TL0xx rule catalog, docs/ANALYSIS.md) and
+    the static Theorem 2 leakage audit, over one or more programs::
+
+        python -m repro lint examples/lint/*.tl --format sarif
+
+    Programs may carry ``// gamma: h=H,l=L`` style directives so a corpus
+    needs no per-file flags.  Exit 0 clean, 1 findings, 2 bad input.
+
 infer
     Print the program with inferred timing labels.
 
@@ -54,6 +68,7 @@ import sys
 from typing import Dict, List, Optional
 
 from . import __version__
+from .analysis.audit import DEFAULT_HORIZON as ANALYSIS_HORIZON
 from .api import compile_program
 from .hardware import make_hardware, paper_machine, run_contract_suite
 from .lang.parser import DEFAULT_LATTICE, parse
@@ -112,6 +127,24 @@ def _gamma(args, lattice: Lattice) -> SecurityEnvironment:
     return SecurityEnvironment(lattice, bindings)
 
 
+def _gamma_spec(args) -> Dict[str, str]:
+    """The raw ``--gamma`` bindings as name -> level-name strings.
+
+    The analysis engine validates level names itself against the
+    (possibly directive-chosen) lattice, so no lattice is needed here.
+    """
+    bindings: Dict[str, str] = {}
+    spec = getattr(args, "gamma", "") or ""
+    for item in filter(None, (part.strip() for part in spec.split(","))):
+        if "=" not in item:
+            raise SystemExit(
+                f"--gamma entries look like name=LEVEL, got {item!r}"
+            )
+        name, level = item.split("=", 1)
+        bindings[name.strip()] = level.strip()
+    return bindings
+
+
 def _memory(sets: Optional[List[str]]) -> Memory:
     values: Dict[str, object] = {}
     for item in sets or []:
@@ -142,7 +175,13 @@ def _compiled(args, check=True):
 
 
 def cmd_check(args) -> int:
-    """`check`: typecheck; 0 when well-typed, 1 with the error printed."""
+    """`check`: typecheck; 0 when well-typed, 1 with the error printed.
+
+    With ``--all``, the error-recovering checker reports every violation
+    (type-system rules only; use `lint` for the full rule catalog).
+    """
+    if getattr(args, "all", False):
+        return _check_all(args)
     try:
         compiled = _compiled(args)
     except TypingError as err:
@@ -153,6 +192,105 @@ def cmd_check(args) -> int:
         level = compiled.typing.mitigate_level[mit_id]
         print(f"  mitigate {mit_id}: pc={pc}, level={level}")
     return 0
+
+
+def _check_all(args) -> int:
+    """`check --all`: collect every type-system violation in one run."""
+    from .analysis import analyze_source, render_text
+    from .analysis.engine import DirectiveError, LintOptions
+
+    options = LintOptions(
+        gamma=_gamma_spec(args),
+        levels=tuple(args.levels.split(",")) if args.levels else None,
+        require_cache_labels=getattr(args, "require_cache_labels", False),
+        lints=False,
+        audit=False,
+    )
+    try:
+        result = analyze_source(_load(args.program), path=args.program,
+                                options=options)
+    except (OSError, DirectiveError) as err:
+        print(f"repro check: {err}", file=sys.stderr)
+        return 2
+    if result.fatal:
+        for diag in result.diagnostics:
+            print(f"repro check: {diag.message}", file=sys.stderr)
+        return 2
+    if result.diagnostics:
+        sources = {args.program: result.source}
+        for line in render_text(result.diagnostics, sources):
+            print(line)
+        return 1
+    print(f"well-typed; timing end-label: {result.typing.end_label}")
+    for mit_id, pc in result.typing.mitigate_pc.items():
+        level = result.typing.mitigate_level[mit_id]
+        print(f"  mitigate {mit_id}: pc={pc}, level={level}")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    """`lint`: the multi-error static-analysis engine over >= 1 programs.
+
+    Exit codes: 0 no findings, 1 findings reported, 2 bad input (a file
+    that cannot be read or parsed, or a bad configuration).
+    """
+    from .analysis import render_json, render_sarif, render_text
+    from .analysis.engine import (
+        DirectiveError, LintOptions, analyze_source,
+    )
+    from .analysis.render import dump
+
+    options = LintOptions(
+        gamma=_gamma_spec(args),
+        levels=tuple(args.levels.split(",")) if args.levels else None,
+        adversary=args.adversary,
+        infer=not args.no_infer,
+        require_cache_labels=args.require_cache_labels,
+        audit=True,
+        horizon=args.horizon,
+    )
+    results = []
+    bad_input = False
+    for path in args.programs:
+        try:
+            source = _load(path)
+        except OSError as err:
+            print(f"repro lint: {err}", file=sys.stderr)
+            bad_input = True
+            continue
+        try:
+            results.append(analyze_source(source, path=path,
+                                          options=options))
+        except DirectiveError as err:
+            print(f"repro lint: {path}: {err}", file=sys.stderr)
+            bad_input = True
+
+    diagnostics = [d for res in results for d in res.diagnostics]
+    sources = {res.path: res.source for res in results}
+    audits = {
+        res.path: res.audit for res in results
+        if res.audit is not None and res.audit.sites
+    }
+
+    if args.format == "text":
+        lines = render_text(diagnostics, sources,
+                            audits if args.audit else None)
+        text = "\n".join(lines) + "\n"
+    elif args.format == "json":
+        text = dump(render_json(diagnostics,
+                                audits if args.audit else None))
+    else:
+        text = dump(render_sarif(diagnostics))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(text, end="")
+
+    if bad_input or any(res.fatal for res in results):
+        return 2
+    return 1 if diagnostics else 0
 
 
 def cmd_infer(args) -> int:
@@ -398,7 +536,42 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--require-cache-labels", action="store_true",
                    help="enforce lr = lw (commodity hardware, Sec. 8.1)")
+    p.add_argument("--all", action="store_true",
+                   help="report every type-system violation instead of "
+                        "stopping at the first")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the full static-analysis engine (multi-error, "
+             "TL0xx rule catalog, Theorem 2 audit)",
+    )
+    p.add_argument("programs", nargs="+", metavar="program",
+                   help="program file(s); '//' header directives such as "
+                        "'// gamma: h=H,l=L' configure the analysis per "
+                        "file")
+    p.add_argument("--gamma", default="",
+                   help="data labels: name=LEVEL,... (overrides the "
+                        "file's '// gamma:' directive)")
+    p.add_argument("--levels", default=None,
+                   help="chain lattice levels, low to high (default L,H)")
+    p.add_argument("--adversary", default=None,
+                   help="adversary level for the Theorem 2 audit "
+                        "(default: lattice bottom)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="report format (default text)")
+    p.add_argument("--output", metavar="FILE", default=None,
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--no-audit", dest="audit", action="store_false",
+                   help="omit the static Theorem 2 leakage audit")
+    p.add_argument("--no-infer", action="store_true",
+                   help="skip label inference (report missing labels)")
+    p.add_argument("--require-cache-labels", action="store_true",
+                   help="enforce lr = lw (commodity hardware, Sec. 8.1)")
+    p.add_argument("--horizon", type=int, default=ANALYSIS_HORIZON,
+                   help="time horizon T for the audit's (1 + log2 T) "
+                        "term (default 2^20)")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("infer", help="print with inferred labels")
     common(p)

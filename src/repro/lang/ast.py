@@ -35,6 +35,39 @@ def _fresh_node_id() -> int:
 
 
 # ---------------------------------------------------------------------------
+# Source spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, 1-based (``line:column`` up to but
+    not including ``end_line:end_column``).
+
+    Nodes built programmatically (via :mod:`repro.lang.builder` or raw
+    constructors) carry :data:`SYNTHETIC_SPAN`, whose coordinates are all
+    zero; the parser overwrites it with the real region.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @property
+    def is_synthetic(self) -> bool:
+        """True for spans of nodes that never came from source text."""
+        return self.line == 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+#: The span of every node not produced by the parser.
+SYNTHETIC_SPAN = Span(0, 0, 0, 0)
+
+
+# ---------------------------------------------------------------------------
 # Expressions
 # ---------------------------------------------------------------------------
 
@@ -48,6 +81,8 @@ UNARY_OPS = ("-", "!")
 @dataclass(eq=False)
 class Expr:
     """Base class for expressions."""
+
+    span: Span = field(default=SYNTHETIC_SPAN, kw_only=True)
 
     def variables(self) -> FrozenSet[str]:
         """Names of all variables (including array names) read by this expression."""
@@ -136,6 +171,8 @@ class UnOp(Expr):
 @dataclass(eq=False)
 class Command:
     """Base class for commands."""
+
+    span: Span = field(default=SYNTHETIC_SPAN, kw_only=True)
 
     def labeled(self) -> bool:
         """True for the paper's *labeled commands* ``c[lr,lw]`` (all but Seq)."""

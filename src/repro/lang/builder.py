@@ -18,6 +18,11 @@ constructors is noisy.  This module provides a small embedded DSL::
 Expression fragments (:class:`E`) overload the Python operators; comparisons
 produce language-level comparison nodes (value 0/1), so they cannot be used
 in Python ``if`` conditions -- build the AST instead.
+
+Nodes built here never came from source text, so they all carry the
+synthetic source span :data:`repro.lang.ast.SYNTHETIC_SPAN` (the parser is
+the only producer of real spans); diagnostics fall back to node ids for
+them.
 """
 
 from __future__ import annotations

@@ -89,8 +89,10 @@ def _tokens(source: str) -> Iterator[Token]:
             col += 1
             continue
         if source.startswith("//", i):
+            start = i
             while i < n and source[i] != "\n":
                 i += 1
+            col += i - start
             continue
         if ch.isdigit():
             start = i

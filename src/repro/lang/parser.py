@@ -123,6 +123,13 @@ class Parser:
             return self._advance()
         return None
 
+    def _span_from(self, start: Token) -> ast.Span:
+        """The source region from ``start`` through the last consumed token."""
+        last = self.tokens[self.pos - 1] if self.pos > 0 else start
+        return ast.Span(
+            start.line, start.column, last.line, last.column + len(last.text)
+        )
+
     def _expect(self, kind: str, text: Optional[str] = None) -> Token:
         tok = self._peek()
         if not self._check(kind, text):
@@ -156,11 +163,13 @@ class Parser:
         return ast.seq(*parts)
 
     def _labeled(self) -> ast.Command:
+        start_tok = self._peek()
         cmd = self._base()
         read_label, write_label = self._annotation()
         assert isinstance(cmd, ast.LabeledCommand)
         cmd.read_label = read_label
         cmd.write_label = write_label
+        cmd.span = self._span_from(start_tok)
         return cmd
 
     def _annotation(self):
@@ -274,41 +283,51 @@ class Parser:
     def _expr(self, tier: int = 0) -> ast.Expr:
         if tier >= len(_PRECEDENCE):
             return self._unary()
+        start_tok = self._peek()
         left = self._expr(tier + 1)
         while any(self._check(op) for op in _PRECEDENCE[tier]):
             op = self._advance().text
             right = self._expr(tier + 1)
             left = ast.BinOp(op=op, left=left, right=right)
+            left.span = self._span_from(start_tok)
         return left
 
     def _unary(self) -> ast.Expr:
+        start_tok = self._peek()
         if self._match("-"):
-            return ast.UnOp(op="-", operand=self._unary())
-        if self._match("!"):
-            return ast.UnOp(op="!", operand=self._unary())
-        return self._primary()
+            node: ast.Expr = ast.UnOp(op="-", operand=self._unary())
+        elif self._match("!"):
+            node = ast.UnOp(op="!", operand=self._unary())
+        else:
+            return self._primary()
+        node.span = self._span_from(start_tok)
+        return node
 
     def _primary(self) -> ast.Expr:
         tok = self._peek()
         if tok.kind == "int":
             self._advance()
-            return ast.IntLit(int(tok.text))
-        if tok.kind == "ident":
+            node: ast.Expr = ast.IntLit(int(tok.text))
+        elif tok.kind == "ident":
             self._advance()
             if self._check("[") and not self._at_annotation():
                 self._advance()
                 index = self._expr()
                 self._expect("]")
-                return ast.ArrayRead(array=tok.text, index=index)
-            return ast.Var(tok.text)
-        if self._match("("):
+                node = ast.ArrayRead(array=tok.text, index=index)
+            else:
+                node = ast.Var(tok.text)
+        elif self._match("("):
             inner = self._expr()
             self._expect(")")
             return inner
-        raise ParseError(
-            f"expected an expression at line {tok.line}, column {tok.column}, "
-            f"found {tok.text or tok.kind!r}"
-        )
+        else:
+            raise ParseError(
+                f"expected an expression at line {tok.line}, column "
+                f"{tok.column}, found {tok.text or tok.kind!r}"
+            )
+        node.span = self._span_from(tok)
+        return node
 
 
 def parse(source: str, lattice: Optional[Lattice] = None) -> ast.Command:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 from ..lang import ast
 
@@ -10,9 +10,14 @@ from ..lang import ast
 class TypingError(Exception):
     """A program violates the Fig. 4 type system.
 
-    Carries the offending command (when known) and the rule that failed, so
-    error messages can say *where* a mitigate command is needed -- the type
-    system's practical job is isolating exactly those places (Sec. 5).
+    Carries the offending command (when known), the rule that failed, a
+    machine-readable ``kind`` naming the specific side condition, and a
+    ``data`` mapping with the labels involved -- the static-analysis engine
+    (:mod:`repro.analysis`) uses both to turn one failure into precise,
+    decomposed diagnostics.  Error messages locate the command by its source
+    ``line:col`` span when it was parsed from text, falling back to the node
+    id for programmatically built ASTs; the type system's practical job is
+    isolating exactly those places (Sec. 5).
     """
 
     def __init__(
@@ -20,13 +25,24 @@ class TypingError(Exception):
         message: str,
         command: Optional[ast.Command] = None,
         rule: Optional[str] = None,
+        kind: Optional[str] = None,
+        data: Optional[Mapping[str, object]] = None,
     ):
         self.command = command
         self.rule = rule
+        self.kind = kind
+        self.data = dict(data) if data else {}
+        self.message = message  # bare, without rule prefix or location
         prefix = f"[{rule}] " if rule else ""
         where = ""
         if isinstance(command, ast.LabeledCommand):
-            where = f" (at {type(command).__name__} node {command.node_id})"
+            if not command.span.is_synthetic:
+                where = (
+                    f" (at {type(command).__name__}, "
+                    f"line {command.span.line}, col {command.span.column})"
+                )
+            else:
+                where = f" (at {type(command).__name__} node {command.node_id})"
         super().__init__(f"{prefix}{message}{where}")
 
 

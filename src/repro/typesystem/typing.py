@@ -66,6 +66,7 @@ class TypingInfo:
     end_label: Label
     mitigate_pc: Dict[str, Label] = field(default_factory=dict)
     mitigate_level: Dict[str, Label] = field(default_factory=dict)
+    mitigate_body_end: Dict[str, Label] = field(default_factory=dict)
     node_contexts: Dict[int, NodeContext] = field(default_factory=dict)
 
     def pc_of(self, mit_id: str) -> Label:
@@ -92,12 +93,28 @@ class TypeChecker:
 
     # -- helpers ---------------------------------------------------------------
 
+    def _violation(self, err: TypingError) -> None:
+        """Report a failed side condition.
+
+        The default checker raises, aborting at the first violation.  The
+        multi-error engine (:mod:`repro.analysis.collector`) overrides this
+        to record the error and *return*, so each rule continues with its
+        natural recovery label and one run surfaces every violation.
+        """
+        raise err
+
     def _labels(self, cmd: ast.LabeledCommand) -> Tuple[Label, Label]:
         if cmd.read_label is None or cmd.write_label is None:
-            raise MissingLabel(
+            self._violation(MissingLabel(
                 "command has no read/write labels; annotate it or run "
                 "label inference first",
                 cmd,
+                kind="missing-label",
+            ))
+            bottom = self.lattice.bottom
+            return (
+                cmd.read_label if cmd.read_label is not None else bottom,
+                cmd.write_label if cmd.write_label is not None else bottom,
             )
         return cmd.read_label, cmd.write_label
 
@@ -106,19 +123,23 @@ class TypeChecker:
     ) -> Tuple[Label, Label]:
         lr, lw = self._labels(cmd)
         if not pc.flows_to(lw):
-            raise TypingError(
+            self._violation(TypingError(
                 f"pc = {pc} must flow to the write label {lw}: a command in "
                 "this context would imprint confidential control flow on "
                 f"{lw}-and-below machine-environment state",
                 cmd,
                 rule,
-            )
+                kind="write-label",
+                data={"pc": pc, "write_label": lw},
+            ))
         if self.require_cache_labels and lr != lw:
-            raise TypingError(
+            self._violation(TypingError(
                 f"commodity hardware requires lr = lw, got [{lr},{lw}]",
                 cmd,
                 rule,
-            )
+                kind="cache-label",
+                data={"read_label": lr, "write_label": lw},
+            ))
         return lr, lw
 
     def _check_index_labels(
@@ -129,13 +150,15 @@ class TypeChecker:
         for expr in exprs:
             for label in self.gamma.array_index_labels(expr):
                 if not label.flows_to(lw):
-                    raise TypingError(
+                    self._violation(TypingError(
                         f"array index at label {label} does not flow to the "
                         f"write label {lw}; the element's address would leak "
                         "into lower cache state",
                         cmd,
                         rule,
-                    )
+                        kind="array-index",
+                        data={"index_label": label, "write_label": lw},
+                    ))
 
     # -- the judgment ---------------------------------------------------------
 
@@ -162,14 +185,18 @@ class TypeChecker:
             target = self.gamma[cmd.target]
             sources = join(le, pc, start, lr)
             if not sources.flows_to(target):
-                raise TypingError(
+                self._violation(TypingError(
                     f"assignment to {cmd.target} at {target}: sources "
                     f"(value {le}, pc {pc}, timing {start}, read label {lr}) "
                     f"join to {sources}, which does not flow to {target}"
                     + self._hint(start, target),
                     cmd,
                     "T-ASGN",
-                )
+                    kind="flow",
+                    data={"value": le, "pc": pc, "timing": start,
+                          "read_label": lr, "target": target,
+                          "name": cmd.target},
+                ))
             self._record(cmd, pc, start, target)
             return target
 
@@ -180,23 +207,29 @@ class TypeChecker:
             )
             index_label = self.gamma.label_of_expr(cmd.index)
             if not index_label.flows_to(lw):
-                raise TypingError(
+                self._violation(TypingError(
                     f"array store index at {index_label} does not flow to "
                     f"the write label {lw}",
                     cmd,
                     "T-ASGN",
-                )
+                    kind="array-index",
+                    data={"index_label": index_label, "write_label": lw},
+                ))
             le = join(self.gamma.label_of_expr(cmd.expr), index_label)
             target = self.gamma[cmd.array]
             sources = join(le, pc, start, lr)
             if not sources.flows_to(target):
-                raise TypingError(
+                self._violation(TypingError(
                     f"store to {cmd.array} at {target}: sources join to "
                     f"{sources}, which does not flow to {target}"
                     + self._hint(start, target),
                     cmd,
                     "T-ASGN",
-                )
+                    kind="flow",
+                    data={"value": le, "pc": pc, "timing": start,
+                          "read_label": lr, "target": target,
+                          "name": cmd.array},
+                ))
             self._record(cmd, pc, start, target)
             return target
 
@@ -244,15 +277,18 @@ class TypeChecker:
             body_start = join(start, le, lr)
             body_end = self.check(cmd.body, pc, body_start)
             if not body_end.flows_to(cmd.level):
-                raise TypingError(
+                self._violation(TypingError(
                     f"mitigate level {cmd.level} does not bound the body's "
                     f"timing end-label {body_end}; raise the level or "
                     "mitigate the offending subcommand",
                     cmd,
                     "T-MTG",
-                )
+                    kind="mitigate-level",
+                    data={"body_end": body_end, "level": cmd.level},
+                ))
             self.info.mitigate_pc[cmd.mit_id] = pc
             self.info.mitigate_level[cmd.mit_id] = cmd.level
+            self.info.mitigate_body_end[cmd.mit_id] = body_end
             end = join(le, start, lr)
             self._record(cmd, pc, start, end)
             return end

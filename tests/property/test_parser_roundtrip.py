@@ -92,3 +92,25 @@ def test_pretty_is_stable(cmd):
     once = pretty(cmd)
     twice = pretty(parse(once))
     assert once == twice
+
+
+@given(commands())
+@settings(max_examples=100)
+def test_roundtrip_modulo_node_id_and_span(cmd):
+    # Built ASTs carry synthetic spans and their own node ids; reparsing
+    # the pretty form produces fresh ids and *real* source positions, yet
+    # the two trees are structurally equal.
+    reparsed = parse(pretty(cmd))
+    assert ast_equal(reparsed, cmd)
+    for node in ast.labeled_commands(reparsed):
+        assert not node.span.is_synthetic
+        assert node.span.line >= 1 and node.span.column >= 1
+
+
+@given(exprs())
+@settings(max_examples=100)
+def test_parsed_expressions_have_real_spans(expr):
+    reparsed = parse_expr(pretty_expr(expr))
+    assert not reparsed.span.is_synthetic
+    assert reparsed.span.end_column > reparsed.span.column \
+        or reparsed.span.end_line > reparsed.span.line

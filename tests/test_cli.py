@@ -1,5 +1,6 @@
 """The command-line interface (python -m repro)."""
 
+import glob
 import json
 import os
 
@@ -57,6 +58,140 @@ class TestCheck:
     def test_unknown_level(self, leaky):
         with pytest.raises(SystemExit):
             main(["check", leaky, "--gamma", "h=TOPSECRET"])
+
+
+LINT_DIR = os.path.join(REPO_ROOT, "examples", "lint")
+
+MULTI_BUG = ("// gamma: h=H, l=L\nl := h;\nsleep(h);\nl := 0;\n"
+             "mitigate(0, H) { skip }\n")
+
+
+@pytest.fixture()
+def multi_bug(tmp_path):
+    path = tmp_path / "multi_bug.tl"
+    path.write_text(MULTI_BUG)
+    return str(path)
+
+
+class TestCheckAll:
+    def test_reports_every_violation(self, multi_bug, capsys):
+        rc = main(["check", multi_bug, "--all"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "TL001" in out
+        assert "TL003" in out
+        assert "2:1" in out  # real line:col positions
+
+    def test_all_leaves_welltyped_alone(self, mitigated, capsys):
+        rc = main(["check", mitigated, "--all", "--gamma", "h=H,ready=L"])
+        assert rc == 0
+        assert "well-typed" in capsys.readouterr().out
+
+    def test_all_reports_lint_free_but_ill_typed_only_type_errors(
+            self, multi_bug, capsys):
+        # --all is the type system only: no TL010+ lint codes.
+        main(["check", multi_bug, "--all"])
+        out = capsys.readouterr().out
+        assert "TL010" not in out
+
+    def test_default_check_output_unchanged(self, leaky, capsys):
+        rc = main(["check", leaky, "--gamma", "h=H,ready=L"])
+        assert rc == 1
+        assert capsys.readouterr().out.startswith("ILL-TYPED")
+
+    def test_all_syntax_error_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.tl"
+        path.write_text("l := [L,L]\n")
+        rc = main(["check", str(path), "--all"])
+        assert rc == 2
+
+
+class TestLint:
+    def test_clean_program_exit_0(self, tmp_path, capsys):
+        path = tmp_path / "clean.tl"
+        path.write_text("// gamma: l=L, out=L\nl := 1;\nout := l + 1;\n"
+                        "l := out\n")
+        rc = main(["lint", str(path)])
+        assert rc == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, multi_bug, capsys):
+        rc = main(["lint", multi_bug])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "TL001" in out and "TL010" in out and "TL011" in out
+        assert "findings" in out
+
+    def test_missing_file_exit_2(self, tmp_path, capsys):
+        rc = main(["lint", str(tmp_path / "nope.tl")])
+        assert rc == 2
+        assert "repro lint" in capsys.readouterr().err
+
+    def test_syntax_error_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.tl"
+        path.write_text("l := [L,L]\n")
+        rc = main(["lint", str(path)])
+        assert rc == 2
+        assert "TL000" in capsys.readouterr().out
+
+    def test_corpus_sweep_covers_rule_catalog(self, capsys):
+        fixtures = sorted(glob.glob(os.path.join(LINT_DIR, "*.tl")))
+        assert fixtures, "examples/lint corpus missing"
+        rc = main(["lint", *fixtures, "--format", "json", "--no-audit"])
+        assert rc == 2  # the corpus includes the TL000 syntax fixture
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["summary"]["by_code"]) >= 8
+
+    def test_json_format(self, multi_bug, capsys):
+        rc = main(["lint", multi_bug, "--format", "json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.lint/1"
+        assert doc["summary"]["total"] >= 3
+        assert "audit" in doc
+
+    def test_sarif_format_and_output_file(self, multi_bug, tmp_path,
+                                          capsys):
+        out_file = tmp_path / "report.sarif"
+        rc = main(["lint", multi_bug, "--format", "sarif",
+                   "--output", str(out_file)])
+        assert rc == 1
+        assert "written to" in capsys.readouterr().out
+        doc = json.loads(out_file.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+        assert {r["ruleId"] for r in doc["runs"][0]["results"]} >= {
+            "TL001", "TL010"
+        }
+
+    def test_gamma_flag_overrides_directive(self, tmp_path, capsys):
+        path = tmp_path / "p.tl"
+        path.write_text("// gamma: h=L, l=L\nl := h\n")
+        rc = main(["lint", str(path), "--gamma", "h=H"])
+        assert rc == 1
+        assert "TL001" in capsys.readouterr().out
+
+    def test_audit_in_text_output(self, capsys, tmp_path):
+        path = tmp_path / "p.tl"
+        path.write_text("// gamma: h=H\nmitigate(4, H) { sleep(h) }\n")
+        rc = main(["lint", str(path)])
+        assert rc == 1  # TL010 inside
+        out = capsys.readouterr().out
+        assert "static Theorem 2 audit" in out
+        assert "relevant" in out
+
+    def test_no_audit_flag(self, capsys, tmp_path):
+        path = tmp_path / "p.tl"
+        path.write_text("// gamma: h=H\nmitigate(4, H) { sleep(h) }\n")
+        main(["lint", str(path), "--no-audit"])
+        assert "Theorem 2 audit" not in capsys.readouterr().out
+
+    def test_bad_directive_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "p.tl"
+        path.write_text("// gamma: h=TOPSECRET\nskip [L,L]\n")
+        rc = main(["lint", str(path)])
+        assert rc == 2
+        assert "unknown security level" in capsys.readouterr().err
 
 
 class TestInferAndFix:

@@ -62,6 +62,70 @@ class TestLexer:
         toks = tokenize("_")
         assert toks[0].kind == "ident" and toks[0].text == "_"
 
+    def test_column_tracking(self):
+        toks = tokenize("x := 10")
+        assert [(t.text, t.column) for t in toks[:-1]] == [
+            ("x", 1), (":=", 3), ("10", 6)
+        ]
+
+    def test_comment_advances_column(self):
+        # Regression: the `//` branch used to advance the source index
+        # without updating the column, skewing every later position on
+        # the line (visible at eof for a trailing comment).
+        source = "x := 1 // trailing"
+        eof = tokenize(source)[-1]
+        assert eof.column == len(source) + 1
+
+    def test_column_resets_after_comment_line(self):
+        toks = tokenize("x // comment\ny := 1")
+        y = toks[1]
+        assert (y.text, y.line, y.column) == ("y", 2, 1)
+
+
+class TestSpans:
+    def test_command_spans(self):
+        first, second = labeled_commands(
+            parse("skip [L,L];\nx := y + 1 [L,L]")
+        )
+        assert (first.span.line, first.span.column) == (1, 1)
+        assert first.span.end_column == 11  # includes the annotation
+        assert (second.span.line, second.span.column) == (2, 1)
+
+    def test_expression_spans(self):
+        cmd = parse("x := foo + 10 [L,L]")
+        assert (cmd.expr.span.line, cmd.expr.span.column) == (1, 6)
+        assert cmd.expr.span.end_column == 14
+        assert cmd.expr.left.span.column == 6
+        assert cmd.expr.right.span.column == 12
+
+    def test_nested_command_spans(self):
+        cmd = parse("if h then {\n    x := 1 [L,L]\n"
+                    "} else {\n    skip [L,L]\n} [L,L]")
+        assert (cmd.span.line, cmd.span.column) == (1, 1)
+        assert (cmd.then_branch.span.line,
+                cmd.then_branch.span.column) == (2, 5)
+        assert (cmd.else_branch.span.line,
+                cmd.else_branch.span.column) == (4, 5)
+
+    def test_built_nodes_are_synthetic(self):
+        cmd = Assign(target="x", expr=IntLit(1))
+        assert cmd.span.is_synthetic
+        assert cmd.expr.span.is_synthetic
+
+    def test_span_str(self):
+        cmd = parse("skip [L,L]")
+        assert str(cmd.span) == "1:1"
+
+    def test_typing_error_cites_position(self):
+        from repro.lattice import two_point
+        from repro.typesystem import SecurityEnvironment, TypingError, \
+            typecheck
+        lat = two_point()
+        gamma = SecurityEnvironment(lat, {"h": lat["H"], "l": lat["L"]})
+        program = parse("skip [L,L];\nl := h [L,L]", lat)
+        with pytest.raises(TypingError, match=r"line 2, col 1"):
+            typecheck(program, gamma)
+
 
 class TestParserCommands:
     def test_skip(self):

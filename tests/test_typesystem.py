@@ -259,7 +259,19 @@ class TestErrorQuality:
             typecheck(parse(src), gamma(h="H", l="L"))
         assert "mitigate" in str(exc.value)
 
-    def test_mentions_node(self):
+    def test_mentions_source_position(self):
+        # Parsed programs carry real spans, so the error points at line:col.
         with pytest.raises(TypingError) as exc:
-            typecheck(parse("l := h [L,L]"), gamma(l="L", h="H"))
+            typecheck(parse("skip [L,L];\nl := h [L,L]"), gamma(l="L", h="H"))
+        assert "line 2, col 1" in str(exc.value)
+
+    def test_mentions_node_for_built_asts(self):
+        # Programmatically built commands have only synthetic spans; the
+        # error falls back to the node id.
+        from repro.lang import B
+
+        b = B(LAT)
+        prog = b.assign("l", b.v("h"), L, L)
+        with pytest.raises(TypingError) as exc:
+            typecheck(prog, gamma(l="L", h="H"))
         assert "node" in str(exc.value)
