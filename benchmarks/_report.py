@@ -17,12 +17,19 @@ from typing import Any, Iterable, Mapping, Sequence
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def ensure_results_dir() -> str:
+    """Create ``benchmarks/results/`` when absent (fresh clones don't ship
+    the generated JSON artifacts; see .gitignore) and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
 def write_metrics(name: str, payload: Mapping[str, Any]) -> str:
     """Write a telemetry JSON document (``repro.telemetry/1``) next to the
     text reports as ``benchmarks/results/<name>_metrics.json``; returns the
     path.  ``payload`` is typically
     ``MetricsRegistry.as_dict(leakage=meter.as_dict())``."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
+    ensure_results_dir()
     path = os.path.join(RESULTS_DIR, f"{name}_metrics.json")
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -38,7 +45,7 @@ def write_trace(name: str, spans) -> str:
     run, one child span per mitigate epoch)."""
     from repro.telemetry import write_chrome_trace
 
-    os.makedirs(RESULTS_DIR, exist_ok=True)
+    ensure_results_dir()
     path = os.path.join(RESULTS_DIR, f"{name}_trace.json")
     write_chrome_trace(path, spans)
     return path
@@ -75,7 +82,7 @@ class Report:
 
     def emit(self) -> str:
         text = self._buffer.getvalue()
-        os.makedirs(RESULTS_DIR, exist_ok=True)
+        ensure_results_dir()
         with open(os.path.join(RESULTS_DIR, f"{self.name}.txt"), "w") as f:
             f.write(text)
         print("\n" + text)

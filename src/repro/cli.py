@@ -34,7 +34,17 @@ run
     mitigations::
 
         python -m repro run prog.tl --gamma h=H,l=L --set h=9 --set l=0 \\
-            --hardware partitioned
+            --hardware partitioned --scheme doubling --penalty local
+
+serve
+    Run a multi-tenant workload through the timing-safe gateway
+    (docs/SERVICE.md) and print the per-tenant leakage audit::
+
+        python -m repro serve --spec examples/service/basic.json \\
+            --metrics-out -
+
+    Exit 0 when every tenant's observed leakage stays within its static
+    Theorem 2 bound, 1 on an audit violation, 2 on a bad workload spec.
 
 leakage
     Measure Definition 1 leakage exhaustively over one secret's value
@@ -81,6 +91,7 @@ from .quantitative import (
     secret_variants,
     timing_variations,
 )
+from .semantics.mitigation import SCHEME_CHOICES, MitigationState, make_scheme
 from .telemetry import (
     DynamicLeakageMeter,
     EventJournal,
@@ -341,10 +352,14 @@ def cmd_run(args) -> int:
         recorder = TeeRecorder(metrics_recorder, span_recorder)
     else:
         recorder = metrics_recorder or span_recorder
+    mitigation = MitigationState(
+        scheme=make_scheme(args.scheme), policy=args.penalty
+    )
     result = compiled.run(
         _memory(args.set),
         hardware=args.hardware,
         params=paper_machine(),
+        mitigation=mitigation,
         max_steps=args.max_steps,
         recorder=recorder,
     )
@@ -354,7 +369,7 @@ def cmd_run(args) -> int:
         for event in result.events:
             print(f"  {event}")
     if result.mitigations:
-        print("mitigations:")
+        print(f"mitigations ({mitigation.describe()}):")
         for record in result.mitigations:
             print(f"  {record.mit_id}: duration {record.duration} "
                   f"(level {record.level}, done at {record.end_time})")
@@ -387,6 +402,114 @@ def cmd_run(args) -> int:
     if meter is not None and not meter.holds():
         return 1
     return 0
+
+
+def cmd_serve(args) -> int:
+    """`serve`: run a multi-tenant workload through the gateway.
+
+    Prints a human summary plus the per-tenant audit verdict;
+    ``--metrics-out`` writes the full telemetry document with the
+    ``service`` section (``-`` sends the JSON to stdout and the summary
+    to stderr).  Exit 0 when the audit holds for every tenant, 1 on a
+    violation, 2 on a bad spec.
+    """
+    from .service import (
+        Gateway,
+        WorkloadError,
+        WorkloadSpec,
+        audit_service,
+        service_document,
+    )
+
+    try:
+        raw = json.loads(_load(args.spec))
+        if not isinstance(raw, dict):
+            raise WorkloadError("workload spec must be a JSON object")
+        spec = WorkloadSpec.from_dict(raw)
+    except (OSError, json.JSONDecodeError, WorkloadError) as err:
+        print(f"repro serve: {err}", file=sys.stderr)
+        return 2
+    overrides = {
+        "policy": args.policy,
+        "requests": args.requests,
+        "seed": args.seed,
+        "quantum": args.quantum,
+        "workers": args.workers,
+    }
+    for name, value in overrides.items():
+        if value is not None:
+            setattr(spec, name, value)
+    try:
+        spec.validate()
+    except WorkloadError as err:
+        print(f"repro serve: {err}", file=sys.stderr)
+        return 2
+
+    span_recorder = None
+    journal = None
+    if args.trace_out or args.journal_out:
+        if args.journal_out:
+            journal = EventJournal(args.journal_out)
+        span_recorder = SpanRecorder(
+            journal=journal, keep_spans=bool(args.trace_out)
+        )
+    result = Gateway(spec, recorder=span_recorder).serve()
+    audit = audit_service(result)
+    doc = service_document(result, audit)
+
+    to_stdout = args.metrics_out == "-"
+    out = sys.stderr if to_stdout else sys.stdout
+
+    def say(line: str = "") -> None:
+        print(line, file=out)
+
+    counts = doc["service"]["requests"]
+    say(f"policy {result.policy.describe()}  workers {spec.workers}  "
+        f"seed {spec.seed}")
+    say(f"requests: {counts['submitted']} submitted, "
+        f"{counts['completed']} completed, {counts['rejected']} rejected, "
+        f"{counts['timed_out']} timed out ({result.retries} retries)")
+    say(f"makespan: {result.makespan} cycles  "
+        f"throughput: {result.throughput_per_mcycle():.1f} req/Mcycle")
+    for name, tenant in doc["service"]["tenants"].items():
+        t_audit = audit.tenants[name]
+        lat = tenant["latency"]
+        verdict = "ok" if t_audit.within_bound else "VIOLATED"
+        say(f"  {name} ({tenant['app']}): "
+            f"{tenant['requests']['completed']} ok, "
+            f"latency p50 {lat['p50']} p99 {lat['p99']}, "
+            f"leakage {t_audit.observed_bits:.3f} <= "
+            f"{t_audit.bound_bits:.3f} bits: {verdict}")
+        if t_audit.probe is not None:
+            say(f"    distinguisher "
+                f"{t_audit.probe.class_a} vs {t_audit.probe.class_b}: "
+                f"advantage {t_audit.probe.advantage:+.3f}")
+    for probe in audit.cross_tenant:
+        say(f"  cross-tenant {probe.observer} observing {probe.victim}: "
+            f"advantage {probe.probe.advantage:+.3f}")
+    if audit.ok:
+        say("audit: OK (every tenant within its Theorem 2 bound)")
+    else:
+        say("audit: VIOLATED")
+
+    if args.metrics_out:
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        if to_stdout:
+            sys.stdout.write(text)
+        else:
+            with open(args.metrics_out, "w") as handle:
+                handle.write(text)
+            say(f"metrics written to {args.metrics_out}")
+    if span_recorder is not None:
+        if journal is not None:
+            journal.close()
+            say(f"journal written to {args.journal_out} "
+                f"({journal.emitted} records)")
+        if args.trace_out:
+            write_chrome_trace(args.trace_out, span_recorder.spans)
+            say(f"trace written to {args.trace_out} "
+                f"({len(span_recorder.spans)} spans)")
+    return 0 if audit.ok else 1
 
 
 def cmd_leakage(args) -> int:
@@ -601,7 +724,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--journal-out", metavar="FILE", default=None,
                    help="stream the execution timeline as JSONL to FILE "
                         "(consumed by `repro report`)")
+    p.add_argument("--scheme", choices=SCHEME_CHOICES, default="doubling",
+                   help="prediction scheme for mitigate commands "
+                        "(default doubling)")
+    p.add_argument("--penalty", choices=("local", "global"),
+                   default="local",
+                   help="misprediction penalty policy: per-level counters "
+                        "or one shared counter (default local)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a multi-tenant workload through the timing-safe gateway",
+    )
+    p.add_argument("--spec", required=True, metavar="FILE",
+                   help="workload spec JSON ('-' for stdin); "
+                        "see docs/SERVICE.md")
+    p.add_argument("--policy", choices=("fifo", "rr", "quantized"),
+                   default=None, help="override the spec's scheduler policy")
+    p.add_argument("--requests", type=int, default=None,
+                   help="override the spec's request count")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the spec's RNG seed")
+    p.add_argument("--quantum", type=int, default=None,
+                   help="override the quantized policy's quantum (cycles)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="override the spec's worker count")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="write the telemetry document (with the `service` "
+                        "section) to FILE; '-' writes JSON to stdout and "
+                        "the summary to stderr")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write a Chrome trace-event JSON of every handler "
+                        "run to FILE")
+    p.add_argument("--journal-out", metavar="FILE", default=None,
+                   help="stream handler-run events as JSONL to FILE")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("leakage", help="measure leakage over a secret range")
     common(p)

@@ -25,10 +25,12 @@ from .faithfulness import (
 )
 from .full import ExecutionResult, Interpreter, SemanticsError, execute
 from .mitigation import (
+    SCHEME_CHOICES,
     DoublingScheme,
     MitigationState,
     PolynomialScheme,
     PredictionScheme,
+    make_scheme,
 )
 
 __all__ = [
@@ -42,6 +44,7 @@ __all__ = [
     "MitigationState",
     "PolynomialScheme",
     "PredictionScheme",
+    "SCHEME_CHOICES",
     "STOP",
     "SemanticsError",
     "check_adequacy",
@@ -51,6 +54,7 @@ __all__ = [
     "eval_expr",
     "eval_expr_traced",
     "execute",
+    "make_scheme",
     "mitigation_ids",
     "mitigation_times",
     "observable_events",

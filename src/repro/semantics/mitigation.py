@@ -77,6 +77,22 @@ class PolynomialScheme(PredictionScheme):
         return f"PolynomialScheme(q={self.power})"
 
 
+#: Scheme names accepted by :func:`make_scheme` (the CLI's ``--scheme``
+#: choices and the workload spec's ``scheme`` field).
+SCHEME_CHOICES = ("doubling", "polynomial")
+
+
+def make_scheme(name: str, power: int = 2) -> PredictionScheme:
+    """Build a prediction scheme from its spec/CLI name."""
+    if name == "doubling":
+        return DoublingScheme()
+    if name == "polynomial":
+        return PolynomialScheme(power=power)
+    raise ValueError(
+        f"unknown prediction scheme {name!r}; choose from {SCHEME_CHOICES}"
+    )
+
+
 class MitigationState:
     """The ``Miss`` array plus policy/scheme choices.
 

@@ -1,0 +1,72 @@
+"""The timing-safe serving layer: a multi-tenant mitigated gateway.
+
+See ``docs/SERVICE.md``.  The pieces:
+
+* :mod:`~repro.service.workload` -- workload specs (JSON) and the
+  deterministic load generator (open-/closed-loop arrivals);
+* :mod:`~repro.service.handlers` -- the ``apps/`` case studies behind a
+  request/response facade, one secret per tenant;
+* :mod:`~repro.service.scheduler` -- pluggable policies: FIFO,
+  round-robin, and TIFC-style quantized release;
+* :mod:`~repro.service.gateway` -- the virtual-clock discrete-event
+  server with bounded admission, backpressure, and per-tenant mitigation
+  state;
+* :mod:`~repro.service.audit` -- observed-vs-Theorem-2-bound accounting
+  plus the adversarial distinguisher probes.
+"""
+
+from .audit import (
+    CrossTenantProbe,
+    ProbeResult,
+    ServiceAudit,
+    TenantAudit,
+    audit_service,
+    service_document,
+)
+from .gateway import Gateway, Response, ServiceResult, serve_workload
+from .handlers import HANDLERS, Handler, Payload, make_handler
+from .scheduler import (
+    FifoPolicy,
+    QuantizedPolicy,
+    RoundRobinPolicy,
+    SchedulerPolicy,
+    make_policy,
+)
+from .workload import (
+    ARRIVAL_KINDS,
+    POLICY_CHOICES,
+    LoadGenerator,
+    Request,
+    TenantSpec,
+    WorkloadError,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "CrossTenantProbe",
+    "FifoPolicy",
+    "Gateway",
+    "HANDLERS",
+    "Handler",
+    "LoadGenerator",
+    "POLICY_CHOICES",
+    "Payload",
+    "ProbeResult",
+    "QuantizedPolicy",
+    "Request",
+    "Response",
+    "RoundRobinPolicy",
+    "SchedulerPolicy",
+    "ServiceAudit",
+    "ServiceResult",
+    "TenantAudit",
+    "TenantSpec",
+    "WorkloadError",
+    "WorkloadSpec",
+    "audit_service",
+    "make_handler",
+    "make_policy",
+    "serve_workload",
+    "service_document",
+]

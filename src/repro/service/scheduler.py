@@ -1,0 +1,155 @@
+"""Scheduler policies: who runs next, and when responses are released.
+
+The gateway keeps one bounded FIFO queue per tenant; a policy decides (a)
+which queued request a freed worker picks up, (b) when a dispatch decision
+made "now" may actually start, and (c) when a completed response is
+*released* to the client.  The release time is the adversary-observable
+event, so (c) is where the TIFC-style mitigation lives:
+
+* :class:`FifoPolicy` -- global arrival order, release at completion: the
+  throughput-optimal baseline, and the leakiest (release times carry the
+  full service-time variation plus cross-tenant queueing interference);
+* :class:`RoundRobinPolicy` -- cycle over tenants so no tenant can starve
+  another (queueing fairness), release still at completion;
+* :class:`QuantizedPolicy` -- Ford's timing-information-flow-control
+  discipline: requests *start* only on quantum boundaries and responses
+  are released only on quantum boundaries, so the observable
+  start-to-release duration collapses to ``ceil(service/q) * q`` -- a
+  handful of distinct values regardless of how the handler's padded times
+  vary beneath.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, Mapping, Optional, Sequence
+
+from .workload import Request
+
+
+class SchedulerPolicy(ABC):
+    """Selection + alignment + release discipline, pluggable."""
+
+    name: str = ""
+
+    @abstractmethod
+    def select(
+        self, queues: Mapping[str, Deque[Request]]
+    ) -> Optional[Request]:
+        """Pop and return the next request to serve, or None when every
+        queue is empty."""
+
+    def dispatch_time(self, now: int) -> int:
+        """The earliest clock at which a dispatch decided at ``now`` may
+        start (identity unless the policy batches starts)."""
+        return now
+
+    def release_time(self, start: int, completion: int) -> int:
+        """When the response becomes observable (default: immediately on
+        completion)."""
+        return completion
+
+    def describe(self) -> str:
+        return self.name
+
+
+def _earliest(queues: Mapping[str, Deque[Request]]) -> Optional[str]:
+    """The tenant whose head-of-queue request arrived first (ties broken
+    by request id, which is globally unique and monotone)."""
+    best: Optional[str] = None
+    best_key = None
+    for tenant in sorted(queues):
+        queue = queues[tenant]
+        if not queue:
+            continue
+        key = (queue[0].arrival, queue[0].req_id)
+        if best_key is None or key < best_key:
+            best, best_key = tenant, key
+    return best
+
+
+class FifoPolicy(SchedulerPolicy):
+    """Global first-come-first-served across all tenants."""
+
+    name = "fifo"
+
+    def select(self, queues):
+        tenant = _earliest(queues)
+        return queues[tenant].popleft() if tenant is not None else None
+
+
+class RoundRobinPolicy(SchedulerPolicy):
+    """Cycle through tenants (sorted order), skipping empty queues; each
+    tenant's own queue drains FIFO.  A backlogged tenant cannot monopolize
+    the workers."""
+
+    name = "rr"
+
+    def __init__(self, tenants: Sequence[str]):
+        self._order = sorted(tenants)
+        self._cursor = 0
+
+    def select(self, queues):
+        for offset in range(len(self._order)):
+            tenant = self._order[(self._cursor + offset) % len(self._order)]
+            queue = queues.get(tenant)
+            if queue:
+                self._cursor = (
+                    self._cursor + offset + 1
+                ) % len(self._order)
+                return queue.popleft()
+        return None
+
+
+class QuantizedPolicy(SchedulerPolicy):
+    """TIFC-style batched starts and quantized releases.
+
+    Starts happen only at multiples of ``quantum``; a completed response
+    is held until the next boundary after completion.  The observable
+    start-to-release duration is therefore always a whole number of
+    quanta, collapsing the handler's padded-time variation (and
+    cross-tenant completion jitter) onto a coarse grid.
+    """
+
+    name = "quantized"
+
+    def __init__(self, quantum: int):
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.quantum = quantum
+
+    def select(self, queues):
+        tenant = _earliest(queues)
+        return queues[tenant].popleft() if tenant is not None else None
+
+    def _align(self, time: int) -> int:
+        return ((time + self.quantum - 1) // self.quantum) * self.quantum
+
+    def dispatch_time(self, now: int) -> int:
+        return self._align(now)
+
+    def release_time(self, start: int, completion: int) -> int:
+        # Hold at least one quantum so a same-boundary completion is
+        # still released on the grid, never instantaneously.
+        return max(self._align(completion), start + self.quantum)
+
+    def describe(self) -> str:
+        return f"quantized(q={self.quantum})"
+
+
+def make_policy(name: str, tenants: Sequence[str],
+                quantum: int = 4096) -> SchedulerPolicy:
+    """Build a policy by spec name (``fifo``, ``rr``, ``quantized``)."""
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "rr":
+        return RoundRobinPolicy(tenants)
+    if name == "quantized":
+        return QuantizedPolicy(quantum)
+    raise ValueError(f"unknown scheduler policy {name!r}")
+
+
+def new_queues(tenants: Sequence[str]) -> "dict[str, Deque[Request]]":
+    """One empty bounded-by-the-gateway queue per tenant."""
+    return {name: deque() for name in tenants}

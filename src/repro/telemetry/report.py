@@ -167,6 +167,12 @@ def _metrics_report(doc: Mapping[str, Any]) -> Tuple[List[str], bool]:
         if not sweep.get("theorem2_holds", True):
             ok = False
 
+    service = doc.get("service")
+    if service:
+        service_lines, service_ok = _service_section(service)
+        lines.extend(service_lines)
+        ok = ok and service_ok
+
     lines.append("")
     leakage = doc.get("leakage")
     if leakage:
@@ -183,6 +189,66 @@ def _metrics_report(doc: Mapping[str, Any]) -> Tuple[List[str], bool]:
         )
     else:
         lines.append("leakage verdict: n/a (document has no leakage section)")
+    return lines, ok
+
+
+def _service_section(service: Mapping[str, Any]) -> Tuple[List[str], bool]:
+    """Render the gateway's ``service`` section (``repro serve``
+    documents; see docs/SERVICE.md)."""
+    lines: List[str] = [""]
+    counts = service.get("requests", {})
+    lines.append(
+        f"service: policy {service.get('policy', '?')}, "
+        f"{service.get('workers', '?')} worker(s), "
+        f"scheme {service.get('scheme', '?')}/"
+        f"{service.get('penalty', '?')}"
+    )
+    lines.append(
+        f"  requests: {counts.get('submitted', 0)} submitted, "
+        f"{counts.get('completed', 0)} completed, "
+        f"{counts.get('rejected', 0)} rejected, "
+        f"{counts.get('timed_out', 0)} timed out "
+        f"({service.get('retries', 0)} retries)"
+    )
+    lines.append(
+        f"  makespan {service.get('makespan', 0)} cycles, "
+        f"throughput {service.get('throughput_per_mcycle', 0.0)} req/Mcycle"
+    )
+    ok = True
+    for name, tenant in sorted(service.get("tenants", {}).items()):
+        audit = tenant.get("audit", {})
+        release = audit.get("release", {})
+        within = bool(audit.get("within_bound", True))
+        ok = ok and within
+        lat = tenant.get("latency", {})
+        lines.append(
+            f"  tenant {name} ({tenant.get('app', '?')}): "
+            f"{tenant.get('requests', {}).get('completed', 0)} ok, "
+            f"latency p50 {lat.get('p50', 0)} p99 {lat.get('p99', 0)}, "
+            f"release leakage {release.get('observed_bits', 0.0):.3f} "
+            f"{'<=' if within else '>'} "
+            f"bound {release.get('bound_bits', 0.0):.3f} bits: "
+            f"{'ok' if within else 'VIOLATED'}"
+        )
+        probe = audit.get("probe")
+        if probe:
+            classes = probe.get("classes", ["?", "?"])
+            lines.append(
+                f"    distinguisher {classes[0]} vs {classes[1]}: "
+                f"advantage {probe.get('advantage', 0.0):+.3f}"
+            )
+    cross = service.get("cross_tenant", [])
+    if cross:
+        worst = max(cross, key=lambda p: p.get("advantage", 0.0))
+        lines.append(
+            f"  cross-tenant probes: {len(cross)}; worst advantage "
+            f"{worst.get('advantage', 0.0):+.3f} "
+            f"({worst.get('observer', '?')} observing "
+            f"{worst.get('victim', '?')})"
+        )
+    if not service.get("audit_ok", True):
+        ok = False
+    lines.append(f"  service audit: {'OK' if ok else 'VIOLATED'}")
     return lines, ok
 
 

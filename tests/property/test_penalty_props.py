@@ -1,0 +1,73 @@
+"""Hypothesis properties of the misprediction penalty policies.
+
+The documented contract in :mod:`repro.semantics.mitigation`: under the
+**local** policy every mitigation level owns its ``Miss`` counter, so a
+misprediction at one level never changes the prediction of a block
+mitigated at an *incomparable* level (no cross-level timing oracle);
+under the **global** policy a single shared counter means any
+misprediction anywhere inflates everyone's next prediction.  The diamond
+lattice (L <= M1, M2 <= H with M1 || M2) provides the incomparable pair.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.lattice import diamond
+from repro.semantics.mitigation import (
+    DoublingScheme,
+    MitigationState,
+    PolynomialScheme,
+    make_scheme,
+)
+
+DIAMOND = diamond()
+M1, M2, H = DIAMOND["M1"], DIAMOND["M2"], DIAMOND["H"]
+
+estimates = st.integers(min_value=1, max_value=1 << 12)
+#: Elapsed times big enough to force at least one miss against estimate 1.
+overruns = st.lists(
+    st.integers(min_value=2, max_value=1 << 16), min_size=1, max_size=8
+)
+schemes = st.sampled_from([DoublingScheme(), PolynomialScheme(2),
+                           PolynomialScheme(1)])
+
+
+@given(schemes, estimates, estimates, overruns)
+def test_local_policy_isolates_incomparable_levels(
+    scheme, est_m1, est_m2, elapsed_values
+):
+    state = MitigationState(scheme=scheme, policy="local")
+    before_prediction = state.predict(est_m2, M2)
+    before_misses = state.misses(M2)
+    for elapsed in elapsed_values:
+        state.settle(est_m1, M1, elapsed)
+    # Mispredictions at M1 leave the incomparable level M2 untouched.
+    assert state.predict(est_m2, M2) == before_prediction
+    assert state.misses(M2) == before_misses
+
+
+@given(schemes, estimates, estimates)
+def test_global_policy_couples_incomparable_levels(scheme, est_m1, est_m2):
+    state = MitigationState(scheme=scheme, policy="global")
+    before = state.predict(est_m2, M2)
+    # Overrun the current prediction at M1 to force >= 1 miss.
+    state.settle(est_m1, M1, state.predict(est_m1, M1) + 1)
+    assert state.misses(M2) > 0
+    assert state.predict(est_m2, M2) > before
+
+
+@given(estimates, st.integers(min_value=0, max_value=12))
+def test_local_policy_counts_only_its_own_level(estimate, misses):
+    state = MitigationState(policy="local")
+    for _ in range(misses):
+        state.settle(estimate, H, state.predict(estimate, H) + 1)
+    assert state.misses(H) >= misses
+    assert state.misses(M1) == 0
+    assert state.misses(M2) == 0
+
+
+@given(st.sampled_from(["doubling", "polynomial"]))
+def test_make_scheme_round_trips_names(name):
+    scheme = make_scheme(name)
+    assert scheme.predict(1, 0) == 1
+    # The scheme is monotone in the miss count.
+    assert scheme.predict(7, 3) >= scheme.predict(7, 2)

@@ -224,7 +224,15 @@ class TestRun:
         out = capsys.readouterr().out
         assert "time:" in out
         assert "final ready = 1" in out
-        assert "mitigations:" in out
+        assert "mitigations (DoublingScheme/local):" in out
+
+    def test_run_scheme_and_penalty_flags(self, mitigated, capsys):
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0",
+                   "--scheme", "polynomial", "--penalty", "global"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mitigations (PolynomialScheme(q=2)/global):" in out
 
     def test_run_arrays(self, tmp_path, capsys):
         path = tmp_path / "arr.tl"
@@ -257,6 +265,92 @@ class TestLeakage:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Q        = 3.000 bits" in out
+
+
+class TestServe:
+    @pytest.fixture()
+    def workload(self, tmp_path):
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps({
+            "seed": 5,
+            "requests": 15,
+            "policy": "quantized",
+            "quantum": 1024,
+            "workers": 2,
+            "arrival": {"kind": "open", "mean_gap": 1200},
+            "tenants": [
+                {"name": "a", "app": "login",
+                 "config": {"table_size": 4}},
+                {"name": "b", "app": "password",
+                 "config": {"length": 4}},
+                {"name": "c", "app": "sbox", "config": {"length": 4}},
+            ],
+        }))
+        return str(path)
+
+    def test_serve_audits_clean(self, workload, capsys):
+        rc = main(["serve", "--spec", workload])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "policy quantized(q=1024)" in out
+        assert "audit: OK" in out
+
+    def test_serve_metrics_out_stdout(self, workload, capsys):
+        rc = main(["serve", "--spec", workload, "--metrics-out", "-"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert doc["schema"] == "repro.telemetry/1"
+        assert doc["service"]["audit_ok"] is True
+        assert "audit: OK" in captured.err  # summary moved to stderr
+
+    def test_serve_overrides(self, workload, capsys):
+        rc = main(["serve", "--spec", workload, "--policy", "fifo",
+                   "--requests", "8", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "policy fifo" in out
+        assert "8 submitted" in out
+
+    def test_serve_outputs_and_report_round_trip(self, workload, tmp_path,
+                                                 capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        journal = tmp_path / "j.jsonl"
+        rc = main(["serve", "--spec", workload,
+                   "--metrics-out", str(metrics),
+                   "--trace-out", str(trace),
+                   "--journal-out", str(journal)])
+        assert rc == 0
+        assert json.loads(trace.read_text())  # Chrome trace events exist
+        assert journal.read_text().strip()
+        capsys.readouterr()
+        rc = main(["report", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "service: policy quantized(q=1024)" in out
+        assert "service audit: OK" in out
+
+    def test_serve_rejects_bad_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"tenants": [], "policy": "fifo"}))
+        assert main(["serve", "--spec", str(bad)]) == 2
+        bad.write_text("not json")
+        assert main(["serve", "--spec", str(bad)]) == 2
+        missing = tmp_path / "nope.json"
+        assert main(["serve", "--spec", str(missing)]) == 2
+        capsys.readouterr()
+
+    def test_serve_rejects_bad_override(self, workload, capsys):
+        assert main(["serve", "--spec", workload, "--requests", "0"]) == 2
+        capsys.readouterr()
+
+    def test_serve_example_spec_is_shipping_quality(self, capsys):
+        spec = os.path.join(REPO_ROOT, "examples", "service", "basic.json")
+        raw = json.loads(open(spec).read())
+        assert raw["requests"] >= 100
+        assert len(raw["tenants"]) >= 3
+        assert raw["policy"] == "quantized"
 
 
 class TestVersion:

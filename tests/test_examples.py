@@ -14,7 +14,8 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 
 CASES = [
     ("quickstart.py", ["rejected, as it should be", "Theorem 2 promises"]),
-    ("web_login.py", ["usernames harvested", "Logins still work: state=1"]),
+    ("web_login.py", ["usernames harvested", "Logins still work: state=1",
+                      "Service audit: OK"]),
     ("rsa_decryption.py", ["ATTACK SUCCEEDED", "attack defeated",
                            "Decryption still correct: True"]),
     ("cache_side_channel.py", ["LEAKS via probe", "probe blinded",

@@ -1,0 +1,344 @@
+"""The timing-safe serving layer (src/repro/service, docs/SERVICE.md)."""
+
+import math
+
+import pytest
+
+from repro.service import (
+    FifoPolicy,
+    Gateway,
+    LoadGenerator,
+    QuantizedPolicy,
+    RoundRobinPolicy,
+    WorkloadError,
+    WorkloadSpec,
+    audit_service,
+    make_policy,
+    serve_workload,
+    service_document,
+)
+from repro.service.audit import quantile
+from repro.service.scheduler import new_queues
+from repro.service.workload import Request, _tenant_seed
+
+
+def spec_dict(**overrides):
+    base = {
+        "seed": 11,
+        "requests": 20,
+        "policy": "fifo",
+        "workers": 2,
+        "queue_depth": 8,
+        "arrival": {"kind": "open", "mean_gap": 900},
+        "tenants": [
+            {"name": "alpha", "app": "login", "config": {"table_size": 4}},
+            {"name": "beta", "app": "password", "config": {"length": 4}},
+            {"name": "gamma", "app": "sbox", "config": {"length": 4}},
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestWorkloadSpec:
+    def test_round_trips_and_validates(self):
+        spec = WorkloadSpec.from_dict(spec_dict())
+        assert [t.name for t in spec.tenants] == ["alpha", "beta", "gamma"]
+        assert spec.policy == "fifo"
+
+    def test_rejects_unknown_spec_key(self):
+        with pytest.raises(WorkloadError, match="unknown spec keys"):
+            WorkloadSpec.from_dict(spec_dict(quantumm=64))
+
+    def test_rejects_unknown_tenant_key(self):
+        raw = spec_dict()
+        raw["tenants"][0]["color"] = "red"
+        with pytest.raises(WorkloadError, match="unknown tenant keys"):
+            WorkloadSpec.from_dict(raw)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(WorkloadError, match="policy"):
+            WorkloadSpec.from_dict(spec_dict(policy="lifo"))
+
+    def test_rejects_duplicate_tenant_names(self):
+        raw = spec_dict()
+        raw["tenants"].append(dict(raw["tenants"][0]))
+        with pytest.raises(WorkloadError, match="unique"):
+            WorkloadSpec.from_dict(raw)
+
+    def test_rejects_unknown_app(self):
+        raw = spec_dict()
+        raw["tenants"][0]["app"] = "graphql"
+        with pytest.raises(WorkloadError, match="graphql"):
+            WorkloadSpec.from_dict(raw).build_handlers()
+
+    def test_rejects_bad_arrival(self):
+        with pytest.raises(WorkloadError, match="arrival.kind"):
+            WorkloadSpec.from_dict(
+                spec_dict(arrival={"kind": "sine", "mean_gap": 10})
+            )
+        with pytest.raises(WorkloadError, match="clients"):
+            WorkloadSpec.from_dict(
+                spec_dict(arrival={"kind": "closed", "clients": 0,
+                                   "think": 1})
+            )
+
+    def test_rejects_bad_scheme_and_penalty(self):
+        with pytest.raises(WorkloadError, match="scheme"):
+            WorkloadSpec.from_dict(spec_dict(scheme="cubic"))
+        with pytest.raises(WorkloadError, match="penalty"):
+            WorkloadSpec.from_dict(spec_dict(penalty="shared"))
+
+    def test_tenant_seed_is_stable_and_per_tenant(self):
+        assert _tenant_seed(11, "alpha") == _tenant_seed(11, "alpha")
+        assert _tenant_seed(11, "alpha") != _tenant_seed(11, "beta")
+        assert _tenant_seed(11, "alpha") != _tenant_seed(12, "alpha")
+
+
+class TestLoadGenerator:
+    def test_open_loop_is_deterministic_and_monotone(self):
+        spec = WorkloadSpec.from_dict(spec_dict())
+        handlers = spec.build_handlers()
+        first = LoadGenerator(spec, handlers).initial()
+        second = LoadGenerator(spec, handlers).initial()
+        assert [r.arrival for r in first] == [r.arrival for r in second]
+        assert [r.tenant for r in first] == [r.tenant for r in second]
+        assert all(a.arrival <= b.arrival
+                   for a, b in zip(first, second[1:]))
+        assert len(first) == spec.requests
+
+    def test_closed_loop_keeps_one_request_per_client(self):
+        spec = WorkloadSpec.from_dict(spec_dict(
+            arrival={"kind": "closed", "clients": 3, "think": 100},
+            requests=10,
+        ))
+        handlers = spec.build_handlers()
+        gen = LoadGenerator(spec, handlers)
+        initial = gen.initial()
+        assert len(initial) == 3  # one outstanding request per client
+        follow = gen.on_done(initial[0], 5_000)
+        assert follow is not None
+        assert follow.client == initial[0].client
+        assert follow.arrival == 5_000 + 100
+
+    def test_closed_loop_stops_at_request_budget(self):
+        spec = WorkloadSpec.from_dict(spec_dict(
+            arrival={"kind": "closed", "clients": 2, "think": 0},
+            requests=3,
+        ))
+        gen = LoadGenerator(spec, spec.build_handlers())
+        outstanding = gen.initial()
+        assert gen.on_done(outstanding[0], 10) is not None
+        assert gen.on_done(outstanding[1], 20) is None  # budget spent
+
+
+class TestSchedulerPolicies:
+    @staticmethod
+    def _queues(*requests):
+        queues = new_queues(sorted({r.tenant for r in requests}))
+        for request in requests:
+            queues[request.tenant].append(request)
+        return queues
+
+    @staticmethod
+    def _req(req_id, tenant, arrival):
+        return Request(req_id=req_id, tenant=tenant, arrival=arrival,
+                       payload=None)
+
+    def test_fifo_picks_earliest_arrival_across_tenants(self):
+        queues = self._queues(
+            self._req(0, "a", 50), self._req(1, "b", 10),
+            self._req(2, "c", 30),
+        )
+        policy = FifoPolicy()
+        assert [policy.select(queues).req_id for _ in range(3)] == [1, 2, 0]
+
+    def test_round_robin_cycles_tenants(self):
+        queues = self._queues(
+            self._req(0, "a", 0), self._req(1, "a", 1),
+            self._req(2, "b", 2), self._req(3, "c", 3),
+        )
+        policy = RoundRobinPolicy(["a", "b", "c"])
+        order = [policy.select(queues).tenant for _ in range(4)]
+        assert order == ["a", "b", "c", "a"]
+        assert policy.select(queues) is None
+
+    def test_quantized_aligns_dispatch_and_release(self):
+        policy = QuantizedPolicy(100)
+        assert policy.dispatch_time(0) == 0
+        assert policy.dispatch_time(1) == 100
+        assert policy.dispatch_time(100) == 100
+        # Release lands on the grid and is held at least one quantum.
+        assert policy.release_time(100, 130) == 200
+        assert policy.release_time(100, 100) == 200
+        assert policy.release_time(100, 201) == 300
+
+    def test_make_policy_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheduler policy"):
+            make_policy("edf", ["a"])
+        with pytest.raises(ValueError, match="quantum"):
+            QuantizedPolicy(0)
+
+
+class TestGateway:
+    def test_same_spec_same_release_times(self):
+        raw = spec_dict(policy="quantized", quantum=1024)
+        first = serve_workload(raw)
+        second = serve_workload(raw)
+        assert first.release_times() == second.release_times()
+        assert [r.status for r in first.responses] == [
+            r.status for r in second.responses
+        ]
+
+    def test_different_seed_different_stream(self):
+        first = serve_workload(spec_dict(seed=1))
+        second = serve_workload(spec_dict(seed=2))
+        assert ([r.request.tenant for r in first.responses]
+                != [r.request.tenant for r in second.responses]
+                or first.release_times() != second.release_times())
+
+    def test_quantized_starts_and_releases_on_grid(self):
+        quantum = 1024
+        result = serve_workload(spec_dict(policy="quantized",
+                                          quantum=quantum))
+        completed = result.completed()
+        assert completed
+        for response in completed:
+            assert response.start % quantum == 0
+            assert response.release % quantum == 0
+            assert response.observable >= quantum
+            assert response.observable % quantum == 0
+
+    def test_fifo_serves_in_arrival_order_per_tenant(self):
+        result = serve_workload(spec_dict())
+        by_tenant = {}
+        for response in result.completed():
+            by_tenant.setdefault(response.tenant, []).append(
+                response.request.arrival
+            )
+        for arrivals in by_tenant.values():
+            assert arrivals == sorted(arrivals)
+
+    def test_backpressure_sheds_load_without_deadlock(self):
+        result = serve_workload(spec_dict(
+            requests=30, workers=1, queue_depth=1, max_retries=2,
+            retry_backoff=64,
+            arrival={"kind": "open", "mean_gap": 1},
+        ))
+        statuses = {r.status for r in result.responses}
+        assert "rejected" in statuses
+        assert result.retries > 0
+        # Every submitted request reached a terminal state.
+        assert len(result.responses) == 30
+        assert result.registry.counter("service.requests.rejected") > 0
+
+    def test_timeout_drops_stale_requests(self):
+        result = serve_workload(spec_dict(
+            requests=30, workers=1, queue_depth=30, timeout=2_000,
+            arrival={"kind": "open", "mean_gap": 1},
+        ))
+        assert any(r.status == "timeout" for r in result.responses)
+        assert len(result.responses) == 30
+
+    def test_per_tenant_mitigation_state_is_isolated(self):
+        result = serve_workload(spec_dict())
+        states = list(result.states.values())
+        assert len({id(s) for s in states}) == len(states)
+        meters = list(result.meters.values())
+        assert len({id(m) for m in meters}) == len(meters)
+        # Each tenant's meter saw exactly that tenant's completed runs.
+        for name, meter in result.meters.items():
+            assert meter.runs == result.stats[name].completed
+
+    def test_telemetry_counters_add_up(self):
+        result = serve_workload(spec_dict())
+        registry = result.registry
+        total = (registry.counter("service.requests.ok")
+                 + registry.counter("service.requests.rejected")
+                 + registry.counter("service.requests.timeout"))
+        assert registry.counter("service.requests.submitted") == total == 20
+        per_tenant = sum(
+            reg.counter("service.requests.submitted")
+            for reg in result.tenant_registries.values()
+        )
+        assert per_tenant == 20
+
+    def test_closed_loop_completes_budget(self):
+        result = serve_workload(spec_dict(
+            arrival={"kind": "closed", "clients": 4, "think": 256},
+            requests=16,
+        ))
+        assert len(result.responses) == 16
+
+
+class TestAudit:
+    def test_quantized_audit_within_bound(self):
+        result = serve_workload(spec_dict(policy="quantized", quantum=2048,
+                                          requests=24))
+        audit = audit_service(result)
+        assert audit.ok
+        for tenant in audit.tenants.values():
+            assert tenant.observed_bits <= tenant.bound_bits + 1e-9
+            assert tenant.deadline_within
+
+    def test_observed_bits_counts_distinct_observables(self):
+        result = serve_workload(spec_dict(policy="quantized", quantum=2048,
+                                          requests=24))
+        audit = audit_service(result)
+        for name, tenant in audit.tenants.items():
+            distinct = {
+                r.observable for r in result.completed()
+                if r.tenant == name
+            }
+            expected = math.log2(len(distinct)) if distinct else 0.0
+            assert tenant.observed_bits == pytest.approx(expected)
+
+    def test_probe_reports_secret_classes(self):
+        result = serve_workload(spec_dict(requests=40))
+        audit = audit_service(result)
+        login = audit.tenants["alpha"]
+        assert login.probe is not None
+        assert {login.probe.class_a, login.probe.class_b} == {
+            "valid", "invalid"
+        }
+        # sbox payloads carry no secret class -> no probe.
+        assert audit.tenants["gamma"].probe is None
+
+    def test_audit_stats_reach_the_registry(self):
+        result = serve_workload(spec_dict(requests=30))
+        audit_service(result)
+        gauges = [name for name in result.registry.gauges
+                  if name.startswith("attack.service.")]
+        assert gauges
+
+    def test_service_document_shape(self):
+        result = serve_workload(spec_dict(policy="quantized"))
+        doc = service_document(result)
+        assert doc["schema"] == "repro.telemetry/1"
+        service = doc["service"]
+        assert service["policy"].startswith("quantized")
+        assert set(service["tenants"]) == {"alpha", "beta", "gamma"}
+        for tenant in service["tenants"].values():
+            assert {"app", "requests", "latency", "observable",
+                    "audit"} <= set(tenant)
+        assert isinstance(service["audit_ok"], bool)
+
+    def test_quantile_nearest_rank(self):
+        assert quantile([], 0.5) == 0
+        assert quantile([7], 0.99) == 7
+        assert quantile([1, 2, 3, 4], 0.5) == 2
+        assert quantile(list(range(1, 101)), 0.99) == 99
+
+
+class TestSchemePenaltyPlumbing:
+    def test_spec_scheme_and_penalty_reach_the_states(self):
+        result = serve_workload(spec_dict(scheme="polynomial",
+                                          penalty="global", requests=6))
+        for state in result.states.values():
+            assert "Polynomial" in state.describe()
+            assert state.policy == "global"
+
+    def test_gateway_accepts_prebuilt_spec(self):
+        spec = WorkloadSpec.from_dict(spec_dict(requests=6))
+        result = Gateway(spec).serve()
+        assert len(result.responses) == 6
