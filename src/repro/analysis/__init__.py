@@ -4,40 +4,78 @@ The type system (Fig. 4) stops at the first violation; this package turns
 it into a multi-pass *lint engine* that reports every finding in one run:
 
 * :mod:`.diagnostics` -- the :class:`Diagnostic` model: stable ``TL0xx``
-  rule codes, severities, source spans, optional fix-its;
+  rule codes, severities, source spans, optional fix-its, flow paths;
 * :mod:`.rules` -- the rule registry (catalog in ``docs/ANALYSIS.md``);
 * :mod:`.collector` -- an error-recovery driver around
   :class:`repro.typesystem.typing.TypeChecker` that records each failed
   side condition and continues with the rule's natural recovery label;
+* :mod:`.cfg` -- the control-flow graph builder (basic blocks with spans,
+  branch/loop/mitigate edges, constant-pruned reachability);
+* :mod:`.dataflow` -- a generic forward/backward worklist solver with
+  reaching definitions, live variables, and constant propagation;
+* :mod:`.flows` -- the timing-dependence graph (which sources influence
+  each command's start time, mirroring T-ASGN/T-IF/T-WHILE) and the
+  source->sink path explanations behind ``repro lint --explain``;
 * :mod:`.lints` -- timing-channel lints beyond the type system
-  (secret-dependent sleeps, degenerate or redundant mitigations, ...);
-* :mod:`.audit` -- the static Theorem 2 leakage audit per mitigate site;
-* :mod:`.render` -- human text (with carets), JSON, and SARIF 2.1.0;
+  (secret-dependent sleeps, degenerate or redundant mitigations, and the
+  dataflow-backed TL017-TL020);
+* :mod:`.audit` -- the static Theorem 2 leakage audit per mitigate site,
+  with reachability-tightened vs. syntactic bounds;
+* :mod:`.render` -- human text (with carets), JSON, and SARIF 2.1.0
+  (codeFlows, relatedLocations, partialFingerprints);
 * :mod:`.engine` -- the driver tying it together (``repro lint``).
 """
 
 from .audit import LeakageAudit, MitigateSite, audit_leakage
+from .cfg import CFG, build_cfg, cfg_to_dot, reachable_commands
 from .collector import CollectingTypeChecker, collect_typing_diagnostics
-from .diagnostics import Diagnostic, Severity
+from .dataflow import (
+    ConstantPropagation,
+    LiveVariables,
+    ReachingDefinitions,
+    Solution,
+    solve,
+)
+from .diagnostics import Diagnostic, FlowStep, Severity
 from .engine import LintOptions, LintResult, analyze_program, analyze_source
+from .flows import (
+    FlowExplainer,
+    TimingDependenceGraph,
+    build_tdg,
+    tdg_to_dot,
+)
 from .render import render_json, render_sarif, render_text
 from .rules import RULES, Rule
 
 __all__ = [
+    "CFG",
     "CollectingTypeChecker",
+    "ConstantPropagation",
     "Diagnostic",
+    "FlowExplainer",
+    "FlowStep",
     "LeakageAudit",
     "LintOptions",
     "LintResult",
+    "LiveVariables",
     "MitigateSite",
     "RULES",
+    "ReachingDefinitions",
     "Rule",
     "Severity",
+    "Solution",
+    "TimingDependenceGraph",
     "analyze_program",
     "analyze_source",
     "audit_leakage",
+    "build_cfg",
+    "build_tdg",
+    "cfg_to_dot",
     "collect_typing_diagnostics",
+    "reachable_commands",
     "render_json",
     "render_sarif",
     "render_text",
+    "solve",
+    "tdg_to_dot",
 ]

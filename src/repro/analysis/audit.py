@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from ..lang import ast
 from ..lattice import Label, Lattice
@@ -42,6 +42,8 @@ class MitigateSite:
     relevant: bool
     reason: str
     contribution_bits: float
+    #: False when constant-pruned control flow proves the site never runs.
+    reachable: bool = True
 
     def describe(self) -> str:
         where = "" if self.span.is_synthetic else f" at {self.span}"
@@ -62,6 +64,17 @@ class LeakageAudit:
     closure_size: int
     relevant_count: int
     bound_bits: float
+    #: What a purely syntactic count (every mitigate in the text, reachable
+    #: or not) would have reported.  Equal to the headline numbers when the
+    #: dataflow layer pruned nothing.
+    syntactic_closure_size: int = 0
+    syntactic_relevant_count: int = 0
+    syntactic_bound_bits: float = 0.0
+
+    @property
+    def pruned_count(self) -> int:
+        """How many syntactically-relevant sites dataflow pruning dropped."""
+        return self.syntactic_relevant_count - self.relevant_count
 
     def lines(self) -> List[str]:
         out = [
@@ -81,6 +94,14 @@ class LeakageAudit:
             f"* log2({self.relevant_count + 1}) * (1 + {log_t:.0f}) "
             f"= {self.bound_bits:.2f} bits"
         )
+        if self.pruned_count:
+            out.append(
+                f"  syntactic bound would be {self.syntactic_bound_bits:.2f} "
+                f"bits over K = {self.syntactic_relevant_count} sites; "
+                f"dataflow reachability pruned {self.pruned_count} dead "
+                f"site(s), tightening the bound by "
+                f"{self.syntactic_bound_bits - self.bound_bits:.2f} bits"
+            )
         return out
 
     def as_dict(self) -> dict:
@@ -90,6 +111,12 @@ class LeakageAudit:
             "closure_size": self.closure_size,
             "relevant_count": self.relevant_count,
             "bound_bits": self.bound_bits,
+            "syntactic": {
+                "closure_size": self.syntactic_closure_size,
+                "relevant_count": self.syntactic_relevant_count,
+                "bound_bits": self.syntactic_bound_bits,
+                "pruned_count": self.pruned_count,
+            },
             "sites": [
                 {
                     "mit_id": site.mit_id,
@@ -98,6 +125,7 @@ class LeakageAudit:
                     "pc": site.pc.name,
                     "level": site.level.name,
                     "relevant": site.relevant,
+                    "reachable": site.reachable,
                     "reason": site.reason,
                     "contribution_bits": site.contribution_bits,
                 }
@@ -115,12 +143,21 @@ def _bound_for(lattice: Lattice, levels: List[Label], adversary: Label,
     )
 
 
+def _closure_size(lattice: Lattice, levels: List[Label],
+                  adversary: Label) -> int:
+    if not levels:
+        return 0
+    return len(lattice.upward_closure(
+        lattice.exclude_observable(levels, adversary)))
+
+
 def audit_leakage(
     program: ast.Command,
     lattice: Lattice,
     typing: TypingInfo,
     adversary: Optional[Label] = None,
     horizon: int = DEFAULT_HORIZON,
+    reachable: Optional[FrozenSet[int]] = None,
 ) -> LeakageAudit:
     """Account every mitigate site against the Theorem 2 bound.
 
@@ -129,32 +166,51 @@ def audit_leakage(
     and its level is not (``lev(M) !<= lA`` -- its padded duration can vary
     with confidential data).  ``typing`` may come from the error-recovering
     collector, so the audit also works on ill-typed programs.
+
+    ``reachable`` (from :func:`repro.analysis.cfg.reachable_commands`,
+    typically constant-pruned) tightens the count: a mitigate the control
+    flow provably never reaches cannot execute, so it joins neither the
+    ``K`` count nor the ``L^`` closure.  The headline ``bound_bits`` is the
+    reachable bound; the syntactic numbers a text-only audit would have
+    reported are kept alongside so the delta is visible.
     """
     adversary = adversary if adversary is not None else lattice.bottom
     relevant_levels: List[Label] = []
-    raw: List[Tuple[ast.Mitigate, Label, bool, str]] = []
+    syntactic_levels: List[Label] = []
+    raw: List[Tuple[ast.Mitigate, Label, bool, str, bool]] = []
     for cmd in ast.mitigates(program):
+        is_reachable = reachable is None or cmd.node_id in reachable
         pc = typing.mitigate_pc.get(cmd.mit_id)
         if pc is None:
-            raw.append((cmd, lattice.bottom, False, "not typed"))
+            raw.append((cmd, lattice.bottom, False, "not typed",
+                        is_reachable))
             continue
         if not pc.flows_to(adversary):
             raw.append((cmd, pc, False,
                         f"high context: pc {pc} is invisible at "
-                        f"{adversary}"))
+                        f"{adversary}", is_reachable))
             continue
         if cmd.level.flows_to(adversary):
             raw.append((cmd, pc, False,
                         f"level {cmd.level} is already observable at "
-                        f"{adversary}"))
+                        f"{adversary}", is_reachable))
             continue
-        raw.append((cmd, pc, True, ""))
+        syntactic_levels.append(cmd.level)
+        if not is_reachable:
+            raw.append((cmd, pc, False,
+                        "unreachable: constant-pruned control flow never "
+                        "gets here", is_reachable))
+            continue
+        raw.append((cmd, pc, True, "", is_reachable))
         relevant_levels.append(cmd.level)
 
     total = _bound_for(lattice, relevant_levels, adversary, horizon)
+    syntactic_total = _bound_for(
+        lattice, syntactic_levels, adversary, horizon
+    )
     sites: List[MitigateSite] = []
     index = 0
-    for cmd, pc, relevant, reason in raw:
+    for cmd, pc, relevant, reason, is_reachable in raw:
         contribution = 0.0
         if relevant:
             without = (
@@ -173,16 +229,17 @@ def audit_leakage(
             relevant=relevant,
             reason=reason,
             contribution_bits=contribution,
+            reachable=is_reachable,
         ))
     return LeakageAudit(
         adversary=adversary,
         horizon=horizon,
         sites=tuple(sites),
-        closure_size=(
-            len(lattice.upward_closure(
-                lattice.exclude_observable(relevant_levels, adversary)))
-            if relevant_levels else 0
-        ),
+        closure_size=_closure_size(lattice, relevant_levels, adversary),
         relevant_count=len(relevant_levels),
         bound_bits=total,
+        syntactic_closure_size=_closure_size(
+            lattice, syntactic_levels, adversary),
+        syntactic_relevant_count=len(syntactic_levels),
+        syntactic_bound_bits=syntactic_total,
     )

@@ -1,0 +1,331 @@
+"""Control-flow graphs for the timing-label language.
+
+The language is structured (Fig. 1: sequencing, ``if``, ``while``,
+``mitigate``), so its CFG is built by structural recursion rather than by
+leader analysis.  A :class:`BasicBlock` holds a maximal straight-line run
+of *atomic* commands (``skip``, assignments, ``sleep``) and at most one
+*terminator* -- an ``if``/``while`` guard or a ``mitigate`` header -- whose
+out-edges carry a :class:`EdgeKind`:
+
+* ``SEQ``   fall-through between blocks;
+* ``TRUE``/``FALSE``  the two sides of an ``if`` or ``while`` guard;
+* ``BACK``  the loop back-edge from a ``while`` body to its guard;
+* ``ENTER``/``EXIT``  into and out of a ``mitigate`` body.
+
+Reachability is where the dataflow layer earns precision over the
+syntactic TL016 lint: :func:`reachable_commands` consults a constant-
+propagation solution (:mod:`repro.analysis.dataflow`) so that a guard that
+is *provably* constant -- even through variable assignments the syntactic
+fold cannot see -- prunes the dead edge, and everything after a
+non-terminating ``while`` is dead too.  The pruned set feeds the TL017/
+TL020 lints and the reachable Theorem 2 bound in
+:mod:`repro.analysis.audit`.
+
+``repro flow --dot cfg`` renders the graph via :func:`cfg_to_dot`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..lang import ast
+from ..lang.pretty import pretty_expr
+
+
+class EdgeKind(enum.Enum):
+    """Why control may pass from one block to another."""
+
+    SEQ = "seq"
+    TRUE = "true"
+    FALSE = "false"
+    BACK = "back"
+    ENTER = "enter"
+    EXIT = "exit"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed control-flow edge between two blocks."""
+
+    src: int
+    dst: int
+    kind: EdgeKind
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of atomic commands.
+
+    ``terminator`` (when set) is the ``if``/``while``/``mitigate`` command
+    whose guard or header this block evaluates last; its out-edges are the
+    branch/loop/mitigate edges.  ``ENTRY``/``EXIT`` sentinel blocks carry
+    no commands.
+    """
+
+    block_id: int
+    statements: List[ast.LabeledCommand] = field(default_factory=list)
+    terminator: Optional[ast.LabeledCommand] = None
+
+    @property
+    def commands(self) -> Tuple[ast.LabeledCommand, ...]:
+        """Statements plus the terminator, in evaluation order."""
+        if self.terminator is not None:
+            return tuple(self.statements) + (self.terminator,)
+        return tuple(self.statements)
+
+    @property
+    def span(self) -> ast.Span:
+        """The region from the first to the last command in the block."""
+        cmds = self.commands
+        if not cmds:
+            return ast.SYNTHETIC_SPAN
+        first, last = cmds[0].span, cmds[-1].span
+        if first.is_synthetic or last.is_synthetic:
+            return ast.SYNTHETIC_SPAN
+        return ast.Span(first.line, first.column,
+                        last.end_line, last.end_column)
+
+    def label(self) -> str:
+        """A short human-readable rendering (used by the DOT export)."""
+        parts = [_describe(cmd) for cmd in self.statements]
+        if self.terminator is not None:
+            parts.append(_describe(self.terminator))
+        return "\\n".join(parts) if parts else f"B{self.block_id}"
+
+
+def _describe(cmd: ast.LabeledCommand) -> str:
+    if isinstance(cmd, ast.Skip):
+        return "skip"
+    if isinstance(cmd, ast.Assign):
+        return f"{cmd.target} := {pretty_expr(cmd.expr)}"
+    if isinstance(cmd, ast.ArrayAssign):
+        return (f"{cmd.array}[{pretty_expr(cmd.index)}] := "
+                f"{pretty_expr(cmd.expr)}")
+    if isinstance(cmd, ast.Sleep):
+        return f"sleep({pretty_expr(cmd.duration)})"
+    if isinstance(cmd, ast.If):
+        return f"if {pretty_expr(cmd.cond)}"
+    if isinstance(cmd, ast.While):
+        return f"while {pretty_expr(cmd.cond)}"
+    if isinstance(cmd, ast.Mitigate):
+        return f"mitigate({pretty_expr(cmd.budget)}, {cmd.level})"
+    return type(cmd).__name__
+
+
+@dataclass
+class CFG:
+    """A whole program's control-flow graph."""
+
+    blocks: Dict[int, BasicBlock]
+    edges: List[Edge]
+    entry: int
+    exit: int
+    #: node_id of every command -> the block that evaluates it.
+    block_of: Dict[int, int]
+
+    def successors(self, block_id: int) -> List[Edge]:
+        return [e for e in self.edges if e.src == block_id]
+
+    def predecessors(self, block_id: int) -> List[Edge]:
+        return [e for e in self.edges if e.dst == block_id]
+
+    def reachable_blocks(
+        self,
+        follow: Optional[Callable[[Edge], bool]] = None,
+    ) -> FrozenSet[int]:
+        """Block ids reachable from the entry, optionally filtering edges."""
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            for edge in self.successors(bid):
+                if follow is None or follow(edge):
+                    stack.append(edge.dst)
+        return frozenset(seen)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.edges: List[Edge] = []
+        self.block_of: Dict[int, int] = {}
+        self._next = 0
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(block_id=self._next)
+        self.blocks[self._next] = block
+        self._next += 1
+        return block
+
+    def edge(self, src: int, dst: int, kind: EdgeKind) -> None:
+        self.edges.append(Edge(src, dst, kind))
+
+    def build(self, cmd: ast.Command, current: BasicBlock) -> BasicBlock:
+        """Append ``cmd``'s flow starting in ``current``; return the block
+        control is in afterwards."""
+        if isinstance(cmd, ast.Seq):
+            current = self.build(cmd.first, current)
+            return self.build(cmd.second, current)
+
+        assert isinstance(cmd, ast.LabeledCommand)
+
+        if isinstance(cmd, ast.If):
+            current.terminator = cmd
+            self.block_of[cmd.node_id] = current.block_id
+            then_entry = self.new_block()
+            else_entry = self.new_block()
+            self.edge(current.block_id, then_entry.block_id, EdgeKind.TRUE)
+            self.edge(current.block_id, else_entry.block_id, EdgeKind.FALSE)
+            then_exit = self.build(cmd.then_branch, then_entry)
+            else_exit = self.build(cmd.else_branch, else_entry)
+            join = self.new_block()
+            self.edge(then_exit.block_id, join.block_id, EdgeKind.SEQ)
+            self.edge(else_exit.block_id, join.block_id, EdgeKind.SEQ)
+            return join
+
+        if isinstance(cmd, ast.While):
+            guard = self.new_block()
+            self.edge(current.block_id, guard.block_id, EdgeKind.SEQ)
+            guard.terminator = cmd
+            self.block_of[cmd.node_id] = guard.block_id
+            body_entry = self.new_block()
+            after = self.new_block()
+            self.edge(guard.block_id, body_entry.block_id, EdgeKind.TRUE)
+            self.edge(guard.block_id, after.block_id, EdgeKind.FALSE)
+            body_exit = self.build(cmd.body, body_entry)
+            self.edge(body_exit.block_id, guard.block_id, EdgeKind.BACK)
+            return after
+
+        if isinstance(cmd, ast.Mitigate):
+            current.terminator = cmd
+            self.block_of[cmd.node_id] = current.block_id
+            body_entry = self.new_block()
+            self.edge(current.block_id, body_entry.block_id, EdgeKind.ENTER)
+            body_exit = self.build(cmd.body, body_entry)
+            after = self.new_block()
+            self.edge(body_exit.block_id, after.block_id, EdgeKind.EXIT)
+            return after
+
+        # Atomic commands extend the current straight-line run -- unless a
+        # terminator already sealed it, in which case flow fell through to a
+        # fresh block upstream, so this cannot happen.
+        assert current.terminator is None
+        current.statements.append(cmd)
+        self.block_of[cmd.node_id] = current.block_id
+        return current
+
+
+def build_cfg(program: ast.Command) -> CFG:
+    """Build the control-flow graph of a whole program."""
+    builder = _Builder()
+    entry = builder.new_block()
+    first = builder.new_block()
+    builder.edge(entry.block_id, first.block_id, EdgeKind.SEQ)
+    last = builder.build(program, first)
+    exit_block = builder.new_block()
+    builder.edge(last.block_id, exit_block.block_id, EdgeKind.SEQ)
+    return CFG(
+        blocks=builder.blocks,
+        edges=builder.edges,
+        entry=entry.block_id,
+        exit=exit_block.block_id,
+        block_of=builder.block_of,
+    )
+
+
+# -- constant-pruned reachability ---------------------------------------------
+
+
+def _guard_value(
+    cmd: ast.LabeledCommand,
+    constants: Optional["object"],
+) -> Optional[int]:
+    """The guard's provably-constant value at this occurrence, if any.
+
+    ``constants`` is a :class:`repro.analysis.dataflow.Solution` for the
+    :class:`~repro.analysis.dataflow.ConstantPropagation` problem (or None
+    for purely syntactic folding).
+    """
+    from .dataflow import eval_const  # local import: dataflow imports cfg
+
+    if not isinstance(cmd, (ast.If, ast.While)):
+        return None
+    env: Dict[str, int] = {}
+    if constants is not None:
+        fact = constants.before(cmd.node_id)
+        if fact is not None:
+            env = dict(fact)
+    return eval_const(cmd.cond, env)
+
+
+def reachable_commands(
+    cfg: CFG,
+    constants: Optional["object"] = None,
+) -> FrozenSet[int]:
+    """node_ids of every command reachable from the entry.
+
+    With a constant-propagation ``constants`` solution, provably-constant
+    guards prune the dead side: only the taken edge of a constant ``if`` is
+    followed, a constantly-false ``while`` never enters its body, and a
+    constantly-true ``while`` never reaches the code after it.
+    """
+    guard_values: Dict[int, int] = {}
+    for block in cfg.blocks.values():
+        term = block.terminator
+        if term is None:
+            continue
+        value = _guard_value(term, constants)
+        if value is not None:
+            guard_values[block.block_id] = value
+
+    def follow(edge: Edge) -> bool:
+        if edge.src not in guard_values:
+            return True
+        taken = EdgeKind.TRUE if guard_values[edge.src] else EdgeKind.FALSE
+        if edge.kind in (EdgeKind.TRUE, EdgeKind.FALSE):
+            return edge.kind == taken
+        return True
+
+    live_blocks = cfg.reachable_blocks(follow)
+    return frozenset(
+        node_id for node_id, bid in cfg.block_of.items()
+        if bid in live_blocks
+    )
+
+
+# -- DOT export ----------------------------------------------------------------
+
+
+def cfg_to_dot(cfg: CFG, title: str = "cfg") -> str:
+    """Render the CFG in Graphviz DOT syntax."""
+    lines = [f"digraph {title} {{", "  node [shape=box, fontname=monospace];"]
+    for bid in sorted(cfg.blocks):
+        block = cfg.blocks[bid]
+        if bid == cfg.entry:
+            text = "ENTRY"
+        elif bid == cfg.exit:
+            text = "EXIT"
+        else:
+            text = block.label()
+            if not block.span.is_synthetic:
+                text = f"B{bid} @ {block.span}\\n{text}"
+        lines.append(f'  b{bid} [label="{text}"];')
+    for edge in cfg.edges:
+        style = ""
+        if edge.kind in (EdgeKind.TRUE, EdgeKind.FALSE):
+            style = f' [label="{edge.kind}"]'
+        elif edge.kind == EdgeKind.BACK:
+            style = ' [label="back", style=dashed]'
+        elif edge.kind in (EdgeKind.ENTER, EdgeKind.EXIT):
+            style = f' [label="{edge.kind}", style=dotted]'
+        lines.append(f"  b{edge.src} -> b{edge.dst}{style};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -17,6 +17,41 @@ from typing import Optional, Tuple
 from ..lang.ast import SYNTHETIC_SPAN, Span
 
 
+@dataclass(frozen=True)
+class FlowStep:
+    """One hop of a source-to-sink flow path.
+
+    ``kind`` is one of ``source`` (where the secret enters), ``flow`` (a
+    value assignment that propagates it), ``branch`` (a guard that turns
+    it into control flow), ``timing`` (a command whose duration it
+    influences), or ``sink`` (the flagged command).
+    """
+
+    kind: str
+    message: str
+    span: Span = SYNTHETIC_SPAN
+    node_id: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        doc = {
+            "kind": self.kind,
+            "message": self.message,
+            "span": {
+                "line": self.span.line,
+                "column": self.span.column,
+                "end_line": self.span.end_line,
+                "end_column": self.span.end_column,
+            },
+        }
+        if self.node_id is not None:
+            doc["node_id"] = self.node_id
+        return doc
+
+
+#: A full source-to-sink derivation: source first, sink last.
+FlowPath = Tuple[FlowStep, ...]
+
+
 class Severity(enum.Enum):
     """How bad a finding is.  Order matters: errors sort first."""
 
@@ -52,6 +87,8 @@ class Diagnostic:
     #: Replacement source for the flagged region that resolves the finding.
     fix: Optional[str] = None
     rule: Optional[str] = field(default=None)
+    #: Source-to-sink derivation (``repro lint --explain``), when computed.
+    flow: Optional[FlowPath] = field(default=None)
 
     def sort_key(self) -> Tuple:
         return (
@@ -91,4 +128,6 @@ class Diagnostic:
             doc["node_id"] = self.node_id
         if self.fix is not None:
             doc["fix"] = self.fix
+        if self.flow:
+            doc["flow"] = [step.as_dict() for step in self.flow]
         return doc

@@ -30,12 +30,20 @@ from ..typesystem.environment import SecurityEnvironment
 from ..typesystem.inference import infer_labels
 from ..typesystem.typing import TypingInfo
 from .audit import DEFAULT_HORIZON, LeakageAudit, audit_leakage
+from .cfg import CFG, build_cfg, reachable_commands
 from .collector import (
     TolerantEnvironment,
     collect_typing_diagnostics,
     unbound_variable_diagnostics,
 )
+from .dataflow import ConstantPropagation, solve
 from .diagnostics import Diagnostic, Severity
+from .flows import (
+    FlowExplainer,
+    TimingDependenceGraph,
+    attach_flows,
+    build_tdg,
+)
 from .lints import LintContext, run_lints
 from .rules import RULES
 
@@ -51,11 +59,16 @@ class LintOptions:
     gamma: Dict[str, str] = field(default_factory=dict)
     levels: Optional[Tuple[str, ...]] = None
     adversary: Optional[str] = None
-    infer: bool = True
+    #: Tri-state: None follows the file's ``// infer:`` directive (default
+    #: on); True forces inference even past ``// infer: off``; False
+    #: disables it outright.
+    infer: Optional[bool] = None
     require_cache_labels: bool = False
     lints: bool = True
     audit: bool = True
     horizon: int = DEFAULT_HORIZON
+    #: Attach source->sink flow paths to flow-shaped diagnostics.
+    explain: bool = False
 
 
 @dataclass
@@ -70,6 +83,8 @@ class LintResult:
     gamma: Optional[SecurityEnvironment] = None
     lattice: Optional[Lattice] = None
     typing: Optional[TypingInfo] = None
+    cfg: Optional[CFG] = None
+    tdg: Optional[TimingDependenceGraph] = None
 
     @property
     def fatal(self) -> bool:
@@ -178,7 +193,10 @@ def analyze_source(
             )
         bindings[name] = lattice[level]
 
-    infer = options.infer and directives.get("infer", "on") != "off"
+    if options.infer is None:
+        infer = directives.get("infer", "on") != "off"
+    else:
+        infer = options.infer
     require_cache = (
         options.require_cache_labels
         or "require-cache-labels" in directives
@@ -220,7 +238,7 @@ def analyze_program(
     )
     return _analyze(
         program, gamma, gamma.lattice, path=path, source="",
-        infer=options.infer,
+        infer=options.infer if options.infer is not None else True,
         require_cache_labels=options.require_cache_labels,
         adversary=adversary, options=options,
     )
@@ -248,11 +266,24 @@ def _analyze(
     )
     diagnostics.extend(typing_diags)
 
+    # The dataflow layer: CFG, constant-pruned reachability, and the
+    # timing-dependence graph.  Everything downstream (TL017-TL020, the
+    # reachable Theorem 2 bound, --explain paths) consumes these facts.
+    cfg = build_cfg(program)
+    constants = solve(cfg, ConstantPropagation())
+    reachable = reachable_commands(cfg, constants)
+    tdg = build_tdg(program, tolerant)
+
     if options.lints:
         ctx = LintContext(
-            program=program, gamma=tolerant, lattice=lattice, typing=info
+            program=program, gamma=tolerant, lattice=lattice, typing=info,
+            cfg=cfg, constants=constants, reachable=reachable, tdg=tdg,
         )
         diagnostics.extend(run_lints(ctx))
+
+    if options.explain:
+        explainer = FlowExplainer(program, tolerant, tdg, cfg)
+        attach_flows(diagnostics, explainer)
 
     for diag in diagnostics:
         diag.path = path
@@ -263,10 +294,11 @@ def _analyze(
         audit = audit_leakage(
             program, lattice, info,
             adversary=adversary, horizon=options.horizon,
+            reachable=reachable,
         )
 
     return LintResult(
         path=path, source=source, diagnostics=diagnostics,
         audit=audit, program=program, gamma=tolerant,
-        lattice=lattice, typing=info,
+        lattice=lattice, typing=info, cfg=cfg, tdg=tdg,
     )

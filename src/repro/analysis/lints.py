@@ -10,8 +10,8 @@ unreachable commands).  Each rule is a generator over a shared
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..lang import ast
 from ..lang.pretty import pretty, pretty_expr
@@ -19,18 +19,33 @@ from ..lattice import Lattice
 from ..semantics.core import _apply as _apply_binop
 from ..typesystem.environment import SecurityEnvironment
 from ..typesystem.typing import TypingInfo
+from .cfg import CFG
 from .diagnostics import Diagnostic
+from .flows import TimingDependenceGraph
 from .rules import RULES
 
 
 @dataclass
 class LintContext:
-    """Everything a lint pass may consult."""
+    """Everything a lint pass may consult.
+
+    The dataflow facts (``cfg``, ``constants``, ``reachable``, ``tdg``)
+    are populated by the engine; the TL017-TL020 passes skip themselves
+    when they are absent so the syntactic passes keep working standalone.
+    """
 
     program: ast.Command
     gamma: SecurityEnvironment
     lattice: Lattice
     typing: TypingInfo
+    #: Control-flow graph of the program (:mod:`repro.analysis.cfg`).
+    cfg: Optional[CFG] = field(default=None)
+    #: Constant-propagation :class:`~repro.analysis.dataflow.Solution`.
+    constants: Optional[object] = field(default=None)
+    #: node_ids reachable under constant-pruned control flow.
+    reachable: Optional[FrozenSet[int]] = field(default=None)
+    #: Timing-dependence graph (:mod:`repro.analysis.flows`).
+    tdg: Optional[TimingDependenceGraph] = field(default=None)
 
 
 def _diag(code: str, message: str, cmd: ast.LabeledCommand,
@@ -261,6 +276,120 @@ def lint_unreachable(ctx: LintContext) -> Iterator[Diagnostic]:
                 )
 
 
+# -- TL017: dead mitigate (dataflow-backed) ------------------------------------
+
+
+def lint_dead_mitigate(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.tdg is None or ctx.reachable is None:
+        return
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.Mitigate):
+            continue
+        if cmd.node_id not in ctx.reachable:
+            continue  # TL020's territory
+        body_varies = any(
+            sub.node_id in ctx.reachable
+            and ctx.tdg.contributes_timing(sub.node_id)
+            for sub in cmd.body.walk()
+            if isinstance(sub, ast.LabeledCommand)
+        )
+        if body_varies:
+            continue
+        yield _diag(
+            "TL017",
+            "no reachable command inside this mitigate has secret-"
+            "dependent timing: the padding bounds nothing, but the site "
+            "still counts toward the Theorem 2 site count K (remove it, "
+            "or move it around the actually timing-variable code)",
+            cmd,
+            fix=pretty(cmd.body),
+        )
+
+
+# -- TL018: constant secret branch (dataflow-backed) ---------------------------
+
+
+def lint_constant_secret_branch(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.constants is None or ctx.reachable is None:
+        return
+    from .cfg import _guard_value
+
+    bottom = ctx.lattice.bottom
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, (ast.If, ast.While)):
+            continue
+        if cmd.node_id not in ctx.reachable:
+            continue
+        label = ctx.gamma.label_of_expr(cmd.cond)
+        if label == bottom:
+            continue  # a public guard is TL016's (syntactic) territory
+        if const_value(cmd.cond) is not None:
+            continue  # syntactically constant: already TL016
+        value = _guard_value(cmd, ctx.constants)
+        if value is None:
+            continue
+        kind = "while guard" if isinstance(cmd, ast.While) else "if guard"
+        yield _diag(
+            "TL018",
+            f"{kind} {pretty_expr(cmd.cond)!r} reads {label}-level data "
+            f"but constant propagation proves it is always {value}: no "
+            "information actually flows, yet the branch raises the pc and "
+            "timing labels of everything under it",
+            cmd,
+        )
+
+
+# -- TL019: shadowed mitigate (dataflow-backed) --------------------------------
+
+
+def lint_shadowed_mitigate(ctx: LintContext) -> Iterator[Diagnostic]:
+    def walk(cmd: ast.Command,
+             enclosing: Tuple[ast.Mitigate, ...]) -> Iterator[Diagnostic]:
+        if isinstance(cmd, ast.Mitigate):
+            body_end = ctx.typing.mitigate_body_end.get(cmd.mit_id)
+            for outer in enclosing:
+                if cmd.level.flows_to(outer.level):
+                    break  # TL012 already reports level-subsumed nesting
+                if body_end is not None and body_end.flows_to(outer.level):
+                    yield _diag(
+                        "TL019",
+                        f"mitigate declares level {cmd.level}, but its "
+                        f"body's actual timing end-label {body_end} is "
+                        f"already bounded by the enclosing mitigate at "
+                        f"{outer.level}: the inner site is shadowed and "
+                        "only inflates the Theorem 2 site count K "
+                        "(tighten the declared level or drop the site)",
+                        cmd,
+                    )
+                    break
+            enclosing = enclosing + (cmd,)
+        for sub in cmd.subcommands():
+            yield from walk(sub, enclosing)
+
+    yield from walk(ctx.program, ())
+
+
+# -- TL020: unreachable mitigate (dataflow-backed) -----------------------------
+
+
+def lint_unreachable_mitigate(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.reachable is None:
+        return
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.Mitigate):
+            continue
+        if cmd.node_id in ctx.reachable:
+            continue
+        yield _diag(
+            "TL020",
+            "this mitigate site is unreachable (a provably-constant guard "
+            "or a non-terminating loop cuts it off): it can never pad, "
+            "but a syntactic Theorem 2 audit would still count it "
+            "toward K",
+            cmd,
+        )
+
+
 #: Every AST lint pass, in catalog order.
 LINT_PASSES: Tuple[Callable[[LintContext], Iterator[Diagnostic]], ...] = (
     lint_secret_sleep,
@@ -270,6 +399,10 @@ LINT_PASSES: Tuple[Callable[[LintContext], Iterator[Diagnostic]], ...] = (
     lint_useless_mitigate,
     lint_unused_variable,
     lint_unreachable,
+    lint_dead_mitigate,
+    lint_constant_secret_branch,
+    lint_shadowed_mitigate,
+    lint_unreachable_mitigate,
 )
 
 

@@ -9,17 +9,22 @@ uploads cleanly to code-scanning services.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, List, Optional, Sequence
 
 from .audit import LeakageAudit
-from .diagnostics import Diagnostic
+from .diagnostics import Diagnostic, FlowStep
 from .rules import RULES
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
     "Schemata/sarif-schema-2.1.0.json"
+)
+#: Base URL for per-rule ``helpUri`` anchors in the catalog doc.
+RULE_HELP_BASE = (
+    "https://github.com/example/repro/blob/main/docs/ANALYSIS.md"
 )
 
 
@@ -60,6 +65,14 @@ def render_text(
         )
         if diag.path in sources:
             out.extend(_excerpt(diag, sources[diag.path]))
+        if diag.flow:
+            out.append("    | flow:")
+            for index, step in enumerate(diag.flow, start=1):
+                where = "" if step.span.is_synthetic \
+                    else f" @ {step.span.line}:{step.span.column}"
+                out.append(
+                    f"    |   {index}. [{step.kind}]{where} {step.message}"
+                )
         if diag.fix is not None:
             fix = diag.fix.replace("\n", "\n    |   ")
             out.append(f"    | fix: {fix}")
@@ -114,14 +127,63 @@ def render_json(
 # -- SARIF --------------------------------------------------------------------
 
 
+def _physical_location(path: Optional[str], span) -> dict:
+    return {
+        "artifactLocation": {"uri": path or "<program>"},
+        "region": {
+            "startLine": max(span.line, 1),
+            "startColumn": max(span.column, 1),
+            "endLine": max(span.end_line, 1),
+            "endColumn": max(span.end_column, 1),
+        },
+    }
+
+
+def _fingerprint(diag: Diagnostic) -> str:
+    """A stable identity for one finding across runs.
+
+    Built only from the rule, the file, and the flagged region -- not the
+    message text -- so re-running on an unchanged file (or one where only
+    diagnostics wording changed) dedupes in code-scanning UIs.
+    """
+    key = ":".join((
+        diag.code,
+        diag.path or "<program>",
+        str(diag.span.line), str(diag.span.column),
+        str(diag.span.end_line), str(diag.span.end_column),
+    ))
+    return hashlib.sha256(key.encode()).hexdigest()[:32]
+
+
+def _flow_location(step: FlowStep, path: Optional[str],
+                   step_id: Optional[int] = None) -> dict:
+    loc = {
+        "physicalLocation": _physical_location(path, step.span),
+        "message": {"text": f"[{step.kind}] {step.message}"},
+    }
+    if step_id is not None:
+        loc["id"] = step_id
+    return loc
+
+
 def render_sarif(diagnostics: Sequence[Diagnostic]) -> dict:
-    """A SARIF 2.1.0 log with one run covering every analyzed file."""
+    """A SARIF 2.1.0 log with one run covering every analyzed file.
+
+    Diagnostics carrying a flow path (``repro lint --explain``) emit it
+    twice, per the code-scanning conventions: as a ``codeFlows`` thread
+    flow (source first, sink last) and as numbered ``relatedLocations``.
+    """
     rule_order = list(RULES)
     rules = [
         {
             "id": rule.code,
             "name": rule.name,
             "shortDescription": {"text": rule.summary},
+            "fullDescription": {
+                "text": f"{rule.summary} Paper reference: "
+                        f"{rule.paper_ref}.",
+            },
+            "helpUri": f"{RULE_HELP_BASE}#{rule.code.lower()}-{rule.name}",
             "help": {"text": f"Paper reference: {rule.paper_ref}. "
                              "See docs/ANALYSIS.md for the catalog."},
             "defaultConfiguration": {"level": rule.severity.sarif_level},
@@ -136,19 +198,27 @@ def render_sarif(diagnostics: Sequence[Diagnostic]) -> dict:
             "level": diag.severity.sarif_level,
             "message": {"text": diag.message},
             "locations": [{
-                "physicalLocation": {
-                    "artifactLocation": {
-                        "uri": diag.path or "<program>",
-                    },
-                    "region": {
-                        "startLine": max(diag.span.line, 1),
-                        "startColumn": max(diag.span.column, 1),
-                        "endLine": max(diag.span.end_line, 1),
-                        "endColumn": max(diag.span.end_column, 1),
-                    },
-                },
+                "physicalLocation": _physical_location(
+                    diag.path, diag.span
+                ),
             }],
+            "partialFingerprints": {
+                "reproLint/v1": _fingerprint(diag),
+            },
         }
+        if diag.flow:
+            result["codeFlows"] = [{
+                "threadFlows": [{
+                    "locations": [
+                        {"location": _flow_location(step, diag.path)}
+                        for step in diag.flow
+                    ],
+                }],
+            }]
+            result["relatedLocations"] = [
+                _flow_location(step, diag.path, step_id=index)
+                for index, step in enumerate(diag.flow)
+            ]
         results.append(result)
     return {
         "$schema": SARIF_SCHEMA,
@@ -162,6 +232,7 @@ def render_sarif(diagnostics: Sequence[Diagnostic]) -> dict:
                     "rules": rules,
                 },
             },
+            "columnKind": "utf16CodeUnits",
             "results": results,
         }],
     }

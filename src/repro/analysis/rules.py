@@ -88,6 +88,26 @@ _RULES = (
          "A constant guard makes a branch or loop body unreachable (or a "
          "loop non-terminating).",
          Severity.WARNING, "hygiene"),
+    Rule("TL017", "dead-mitigate",
+         "A mitigate body contains no reachable command whose timing "
+         "varies above the context; the site pads nothing yet still "
+         "counts against the Theorem 2 site count K.",
+         Severity.WARNING, "Sec. 7, Theorem 2 (dataflow-backed)"),
+    Rule("TL018", "constant-secret-branch",
+         "A guard reads confidential variables but is provably constant: "
+         "no information actually flows, and the branch costs pc/timing "
+         "label precision for nothing.",
+         Severity.WARNING, "Sec. 5.1, T-IF (dataflow-backed)"),
+    Rule("TL019", "shadowed-mitigate",
+         "An inner mitigate's body variation is already bounded by an "
+         "enclosing mitigate's level even though the levels are "
+         "incomparable; the inner site is shadowed and only inflates K.",
+         Severity.WARNING, "Sec. 7, Theorem 2 (dataflow-backed)"),
+    Rule("TL020", "unreachable-mitigate",
+         "A mitigate site is unreachable (dead branch or after a "
+         "non-terminating loop); it can never pad, yet a syntactic audit "
+         "would still count it toward K.",
+         Severity.WARNING, "Sec. 7, Theorem 2 (dataflow-backed)"),
 )
 
 #: Rule code -> :class:`Rule`, in catalog order.

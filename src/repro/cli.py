@@ -251,14 +251,19 @@ def cmd_lint(args) -> int:
     )
     from .analysis.render import dump
 
+    # Tri-state inference: --infer forces it on (even past a file's
+    # '// infer: off' directive), --no-infer forces it off, and neither
+    # follows the directives.
+    infer = True if args.infer else (False if args.no_infer else None)
     options = LintOptions(
         gamma=_gamma_spec(args),
         levels=tuple(args.levels.split(",")) if args.levels else None,
         adversary=args.adversary,
-        infer=not args.no_infer,
+        infer=infer,
         require_cache_labels=args.require_cache_labels,
         audit=True,
         horizon=args.horizon,
+        explain=args.explain,
     )
     results = []
     bad_input = False
@@ -302,6 +307,50 @@ def cmd_lint(args) -> int:
     if bad_input or any(res.fatal for res in results):
         return 2
     return 1 if diagnostics else 0
+
+
+def cmd_flow(args) -> int:
+    """`flow`: export the dataflow layer's graphs as Graphviz DOT.
+
+    ``--dot cfg`` renders the control-flow graph (blocks, branch/loop/
+    mitigate edges); ``--dot tdg`` renders the timing-dependence graph
+    (variables with their Gamma levels, value edges, timing taint).
+    Exit codes: 0 rendered, 2 bad input.
+    """
+    from .analysis.cfg import cfg_to_dot
+    from .analysis.engine import (
+        DirectiveError, LintOptions, analyze_source,
+    )
+    from .analysis.flows import tdg_to_dot
+
+    options = LintOptions(
+        gamma=_gamma_spec(args),
+        levels=tuple(args.levels.split(",")) if args.levels else None,
+        lints=False,
+        audit=False,
+    )
+    try:
+        source = _load(args.program)
+        result = analyze_source(source, path=args.program, options=options)
+    except (OSError, DirectiveError) as err:
+        print(f"repro flow: {err}", file=sys.stderr)
+        return 2
+    if result.fatal or result.cfg is None or result.tdg is None:
+        for diag in result.diagnostics:
+            print(f"repro flow: {diag.location()}: {diag.message}",
+                  file=sys.stderr)
+        return 2
+    if args.dot == "cfg":
+        text = cfg_to_dot(result.cfg) + "\n"
+    else:
+        text = tdg_to_dot(result.tdg) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"{args.dot} DOT written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def cmd_infer(args) -> int:
@@ -689,12 +738,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="omit the static Theorem 2 leakage audit")
     p.add_argument("--no-infer", action="store_true",
                    help="skip label inference (report missing labels)")
+    p.add_argument("--infer", action="store_true",
+                   help="force label inference on, overriding a file's "
+                        "'// infer: off' directive (lint unannotated "
+                        "Gamma-only programs without TL007 noise)")
+    p.add_argument("--explain", action="store_true",
+                   help="attach step-by-step source->sink flow paths to "
+                        "flow diagnostics (text steps; SARIF codeFlows)")
     p.add_argument("--require-cache-labels", action="store_true",
                    help="enforce lr = lw (commodity hardware, Sec. 8.1)")
     p.add_argument("--horizon", type=int, default=ANALYSIS_HORIZON,
                    help="time horizon T for the audit's (1 + log2 T) "
                         "term (default 2^20)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "flow",
+        help="export the dataflow layer's graphs (CFG or timing-"
+             "dependence graph) for one program",
+    )
+    p.add_argument("program", help="program file ('//' header directives "
+                                   "configure the analysis)")
+    p.add_argument("--gamma", default="",
+                   help="data labels: name=LEVEL,... (overrides the "
+                        "file's '// gamma:' directive)")
+    p.add_argument("--levels", default=None,
+                   help="chain lattice levels, low to high (default L,H)")
+    p.add_argument("--dot", choices=("cfg", "tdg"), default="cfg",
+                   help="which graph to render as Graphviz DOT "
+                        "(default cfg)")
+    p.add_argument("--output", metavar="FILE", default=None,
+                   help="write the DOT to FILE instead of stdout")
+    p.set_defaults(func=cmd_flow)
 
     p = sub.add_parser("infer", help="print with inferred labels")
     common(p)

@@ -79,3 +79,38 @@ def test_repair_is_idempotent(seed):
         return
     again, second = auto_mitigate(fixed, GAMMA)
     assert second == []  # a repaired program needs no further repair
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=50, deadline=None)
+def test_placements_land_on_timing_tainted_nodes(seed):
+    """Every auto-mitigate placement wraps at least one command the
+    timing-dependence graph marks as timing-relevant: either its own
+    duration varies with confidential data, or confidential data already
+    taints its start time.  (The TDG is built BEFORE the repair mutates
+    the program; wrapped commands keep their node_ids.)"""
+    from repro.analysis.flows import build_tdg
+
+    program, _ = _leaky_program(seed)
+    try:
+        typecheck(program, GAMMA)
+        return
+    except TypingError:
+        pass
+    tdg = build_tdg(program, GAMMA)
+    try:
+        _, placements = auto_mitigate(program, GAMMA)
+    except UnmitigatableError:
+        return
+    for placement in placements:
+        nodes = [
+            sub.node_id
+            for cmd in placement.wrapped
+            for sub in cmd.walk()
+            if isinstance(sub, ast.LabeledCommand)
+        ]
+        assert nodes
+        assert any(
+            tdg.contributes_timing(node) or tdg.timing_tainted(node)
+            for node in nodes
+        ), f"placement {placement.describe()} wraps no timing-tainted node"

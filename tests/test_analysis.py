@@ -461,3 +461,77 @@ class TestCorpus:
         assert len(result.diagnostics) >= 10
         for diag in result.diagnostics:
             assert not diag.span.is_synthetic
+
+
+class TestSarifCompleteness:
+    """Code-scanning completeness: columnKind, rule metadata,
+    fingerprints, codeFlows -- plus an exact golden-file comparison."""
+
+    GOLDEN_SOURCE = (
+        "// gamma: h=H, l=L\n"
+        "if h > 0 then {\n"
+        "    l := 1\n"
+        "} else {\n"
+        "    skip\n"
+        "}\n"
+    )
+    GOLDEN_PATH = os.path.join(
+        os.path.dirname(__file__), "golden", "explain.sarif.json"
+    )
+
+    def render_golden(self):
+        from repro.analysis.render import dump
+
+        result = analyze_source(
+            self.GOLDEN_SOURCE, path="golden.tl",
+            options=LintOptions(explain=True),
+        )
+        return dump(render_sarif(result.diagnostics))
+
+    def test_run_declares_column_kind(self):
+        doc = render_sarif([])
+        assert doc["runs"][0]["columnKind"] == "utf16CodeUnits"
+
+    def test_rules_carry_help_uri_and_full_description(self):
+        doc = render_sarif([])
+        for rule in doc["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["helpUri"].startswith("http")
+            assert rule["id"].lower() in rule["helpUri"]
+            assert rule["fullDescription"]["text"]
+
+    def test_fingerprints_are_stable_and_location_sensitive(self):
+        result = analyze("l := h;\nl := h\n", lints=False)
+        doc = render_sarif(result.diagnostics)
+        prints = [
+            r["partialFingerprints"]["reproLint/v1"]
+            for r in doc["runs"][0]["results"]
+        ]
+        assert len(prints) == len(set(prints))  # distinct lines differ
+        again = render_sarif(result.diagnostics)
+        assert prints == [
+            r["partialFingerprints"]["reproLint/v1"]
+            for r in again["runs"][0]["results"]
+        ]
+
+    def test_code_flows_source_to_sink(self):
+        result = analyze_source(
+            self.GOLDEN_SOURCE, path="golden.tl",
+            options=LintOptions(explain=True),
+        )
+        doc = render_sarif(result.diagnostics)
+        assert_sarif_2_1_0_shape(doc)
+        flows = [r for r in doc["runs"][0]["results"] if "codeFlows" in r]
+        assert flows
+        for r in flows:
+            steps = r["codeFlows"][0]["threadFlows"][0]["locations"]
+            assert steps[0]["location"]["message"]["text"].startswith(
+                "[source]")
+            assert steps[-1]["location"]["message"]["text"].startswith(
+                "[sink]")
+            related = r["relatedLocations"]
+            assert [loc["id"] for loc in related] == list(range(len(steps)))
+
+    def test_matches_golden_file(self):
+        with open(self.GOLDEN_PATH) as handle:
+            golden = handle.read()
+        assert self.render_golden() == golden
