@@ -75,12 +75,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from . import __version__
 from .analysis.audit import DEFAULT_HORIZON as ANALYSIS_HORIZON
 from .api import compile_program
-from .hardware import make_hardware, paper_machine, run_contract_suite
+from .hardware import (
+    REGISTRY,
+    HardwareRegistryError,
+    make_hardware,
+    paper_machine,
+    run_contract_suite,
+)
 from .lang.parser import DEFAULT_LATTICE, parse
 from .lang.pretty import pretty
 from .lattice import Lattice, chain
@@ -111,7 +118,8 @@ from .typesystem import (
     typecheck,
 )
 
-HARDWARE_CHOICES = ("null", "standard", "nopar", "nofill", "partitioned")
+#: Every accepted hardware name (canonical + aliases), registry-driven.
+HARDWARE_CHOICES = REGISTRY.choices()
 
 
 def _lattice(args) -> Lattice:
@@ -665,9 +673,14 @@ def cmd_report(args) -> int:
 def cmd_contract(args) -> int:
     """`contract`: run the hardware property checkers; 0 iff all hold."""
     lattice = _lattice(args)
+    try:
+        spec = REGISTRY.get(args.model)
+    except HardwareRegistryError as err:
+        # argparse's `choices` guards the CLI path; this guards direct calls.
+        print(f"repro contract: {err}", file=sys.stderr)
+        return 2
     report = run_contract_suite(
-        lambda: make_hardware(args.model, lattice, paper_machine()
-                              .scaled_down(8)),
+        lambda: spec.make(lattice, paper_machine().scaled_down(8)),
         lattice,
         trials=args.trials,
     )
@@ -679,6 +692,97 @@ def cmd_contract(args) -> int:
         print(f"first counterexample: {example}")
         return 1
     print("\nall contract properties hold")
+    return 0
+
+
+def cmd_verify_hw(args) -> int:
+    """`verify-hw`: the property-based campaign over the hardware zoo.
+
+    Exit 0 only when every expected-secure model survives its full example
+    budget AND every expected-insecure model is detected with one of its
+    declared property violations; 1 on any surprise; 2 on usage errors.
+    """
+    from .hardware.registry import LATTICE_POINTS
+    from .hardware.verify import run_campaign
+
+    if args.list:
+        for spec in REGISTRY.specs():
+            extra = (
+                f" (violates {', '.join(spec.violates)})"
+                if spec.violates else ""
+            )
+            print(f"{spec.name:12s} expected {spec.verdict_word()}{extra}")
+            print(f"    {spec.summary}")
+            points = (
+                f"    lattices: {', '.join(spec.lattice_points)}; "
+                f"params: {', '.join(spec.param_points)}"
+            )
+            if spec.aliases:
+                points += f"; aliases: {', '.join(spec.aliases)}"
+            print(points)
+        return 0
+
+    models = (
+        [name for name in args.models.split(",") if name]
+        if args.models else None
+    )
+    lattice_points = (
+        [point for point in args.lattices.split(",") if point]
+        if args.lattices else None
+    )
+    try:
+        if models:
+            for name in models:
+                REGISTRY.get(name)
+        for point in lattice_points or ():
+            if point not in LATTICE_POINTS:
+                raise HardwareRegistryError(
+                    f"unknown lattice point {point!r}; choose from "
+                    f"{sorted(LATTICE_POINTS)}"
+                )
+        result = run_campaign(
+            models=models,
+            lattice_points=lattice_points,
+            max_examples=args.max_examples,
+            seed=args.seed,
+            quantify=not args.no_quantify,
+            counterexample_dir=args.counterexamples,
+            database_dir=args.database,
+        )
+    except HardwareRegistryError as err:
+        print(f"repro verify-hw: {err}", file=sys.stderr)
+        return 2
+    print(
+        f"derandomization seed: {result.seed} "
+        f"(per-point seeds listed below; rerun with --seed {result.seed} "
+        f"to reproduce)"
+    )
+    print(f"examples per point: {result.max_examples}")
+    print()
+    for line in result.summary_lines():
+        print(line)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(result.as_dict(), indent=2) + "\n"
+        )
+        print(f"\nwrote campaign result to {args.output}")
+    surprises = result.surprises()
+    if surprises:
+        print(f"\nCAMPAIGN FAILED: {len(surprises)} point(s) defied "
+              f"their spec")
+        for verdict in surprises:
+            kind = (
+                "expected secure but a violation was found"
+                if verdict.expected_secure
+                else "expected insecure but went undetected or was "
+                     "misattributed"
+            )
+            print(
+                f"  {verdict.model}[{verdict.lattice_point},"
+                f"{verdict.param_point}]: {kind}"
+            )
+        return 1
+    print("\ncampaign passed: secure models held, insecure models detected")
     return 0
 
 
@@ -857,6 +961,32 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, program=False)
     p.add_argument("--trials", type=int, default=15)
     p.set_defaults(func=cmd_contract)
+
+    p = sub.add_parser(
+        "verify-hw",
+        help="property-based contract campaign over the whole hardware zoo",
+    )
+    p.add_argument("--models", default=None,
+                   help="comma-separated model names (default: all "
+                        "registered)")
+    p.add_argument("--lattices", default=None,
+                   help="comma-separated lattice points to include "
+                        "(two_point,chain3,diamond)")
+    p.add_argument("--max-examples", type=int, default=300,
+                   help="generated stimulus sequences per campaign point")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign derandomization seed")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the campaign result JSON here")
+    p.add_argument("--counterexamples", default=None, metavar="DIR",
+                   help="write shrunk, replayable counterexample JSON here")
+    p.add_argument("--database", default=None, metavar="DIR",
+                   help="persist the Hypothesis example database here")
+    p.add_argument("--no-quantify", action="store_true",
+                   help="skip end-to-end leak quantification")
+    p.add_argument("--list", action="store_true",
+                   help="list registered models and exit")
+    p.set_defaults(func=cmd_verify_hw)
 
     p = sub.add_parser("report",
                        help="render an audit report from telemetry output")

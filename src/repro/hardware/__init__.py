@@ -1,19 +1,41 @@
-"""Hardware models: the machine-environment contract and four realizations.
+"""Hardware models: the machine-environment contract and its zoo.
+
+Secure designs (must satisfy Properties 2 and 5-7):
 
 * :class:`~repro.hardware.null.NullHardware` -- fixed-cost abstract machine
   (the implicit model of prior language-based work);
-* :class:`~repro.hardware.standard.StandardHardware` -- commodity shared
-  caches, label-oblivious (the paper's insecure ``nopar`` baseline);
 * :class:`~repro.hardware.nofill.NoFillHardware` -- the Sec. 4.2 realization
   on standard hardware via no-fill mode;
 * :class:`~repro.hardware.partitioned.PartitionedHardware` -- the Sec. 4.3
   statically partitioned cache/TLB design.
+
+Adversarial designs (each deliberately breaks a named property, so the
+verification campaign has real leaks to find -- see docs/HARDWARE.md):
+
+* :class:`~repro.hardware.standard.StandardHardware` -- commodity shared
+  caches, label-oblivious (the paper's insecure ``nopar`` baseline; P5);
+* :class:`~repro.hardware.bus.SharedBusHardware` -- shared-bus contention
+  stalls (P6);
+* :class:`~repro.hardware.writeback.WriteBackHardware` -- write-back cache,
+  dirty-eviction cost (P6);
+* :class:`~repro.hardware.speculative.SpeculativeHardware` -- shared branch
+  predictor with a mispredict-window flush (P6 + P7);
+* :class:`~repro.hardware.frequency.FrequencyScalingHardware` -- DVFS driven
+  by global access history (P6);
+* :class:`~repro.hardware.leakytlb.LeakyTlbHardware` -- one shared,
+  label-oblivious TLB (P5).
+
+The :data:`~repro.hardware.registry.REGISTRY` maps names (and aliases such
+as ``nopar``) to factories plus contract metadata; :func:`make_hardware` is
+the convenience constructor over it.  :mod:`repro.hardware.verify` runs the
+property-based contract-verification campaign over every registered model.
 """
 
-from typing import Callable, Dict, Optional
+from typing import Optional
 
 from ..lattice import Lattice
 from .branch import BranchPredictor, BranchPredictorParams
+from .bus import SharedBusHardware
 from .cache import Cache
 from .contract import (
     ContractReport,
@@ -24,8 +46,10 @@ from .contract import (
     check_write_label,
     run_contract_suite,
 )
+from .frequency import FrequencyScalingHardware
 from .hierarchy import Hierarchy
 from .interface import MachineEnvironment, StepKind
+from .leakytlb import LeakyTlbHardware
 from .nofill import NoFillHardware
 from .null import NullHardware
 from .params import (
@@ -36,32 +60,29 @@ from .params import (
     tiny_machine,
 )
 from .partitioned import PartitionedHardware
+from .registry import (
+    LATTICE_POINTS,
+    PARAM_POINTS,
+    REGISTRY,
+    HardwareRegistry,
+    HardwareRegistryError,
+    HardwareSpec,
+)
+from .speculative import SpeculativeHardware
 from .standard import StandardHardware
 from .tlb import Tlb
-
-_MODELS: Dict[str, Callable] = {
-    "null": NullHardware,
-    "standard": StandardHardware,
-    "nopar": StandardHardware,  # the paper's name for the baseline
-    "nofill": NoFillHardware,
-    "partitioned": PartitionedHardware,
-}
+from .writeback import WriteBackHardware
 
 
 def make_hardware(
     name: str, lattice: Lattice, params: Optional[MachineParams] = None
 ) -> MachineEnvironment:
-    """Build a hardware model by name: ``null``, ``standard``/``nopar``,
-    ``nofill``, or ``partitioned``."""
-    try:
-        model = _MODELS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown hardware model {name!r}; choose from {sorted(_MODELS)}"
-        ) from None
-    if name == "null":
-        return model(lattice)
-    return model(lattice, params)
+    """Build a registered hardware model by name (see :data:`REGISTRY`).
+
+    Raises :class:`HardwareRegistryError` (a ``ValueError``) for unknown
+    names, listing the valid choices.
+    """
+    return REGISTRY.make(name, lattice, params)
 
 
 __all__ = [
@@ -70,17 +91,28 @@ __all__ = [
     "Cache",
     "CacheParams",
     "ContractReport",
+    "FrequencyScalingHardware",
+    "HardwareRegistry",
+    "HardwareRegistryError",
+    "HardwareSpec",
     "Hierarchy",
+    "LATTICE_POINTS",
+    "LeakyTlbHardware",
     "MachineEnvironment",
     "MachineParams",
     "NoFillHardware",
     "NullHardware",
+    "PARAM_POINTS",
     "PartitionedHardware",
+    "REGISTRY",
+    "SharedBusHardware",
+    "SpeculativeHardware",
     "StandardHardware",
     "StepKind",
     "Tlb",
     "TlbParams",
     "Violation",
+    "WriteBackHardware",
     "check_determinism",
     "check_read_label",
     "check_single_step_ni",

@@ -63,6 +63,13 @@ class Violation:
     def __str__(self) -> str:
         return f"[{self.prop}] {self.detail}"
 
+    def as_dict(self) -> Dict[str, str]:
+        return {"prop": self.prop, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, str]) -> "Violation":
+        return cls(prop=doc["prop"], detail=doc["detail"])
+
 
 @dataclass
 class ContractReport:
@@ -91,6 +98,30 @@ class ContractReport:
             verdict = "OK" if bad == 0 else f"{bad} violations"
             lines.append(f"{prop}: {self.checked[prop]} checks, {verdict}")
         return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {
+            "checked": dict(self.checked),
+            "violations": {
+                prop: [v.as_dict() for v in vs]
+                for prop, vs in self.violations.items()
+                if vs
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "ContractReport":
+        report = cls()
+        report.checked = {
+            str(prop): int(count)
+            for prop, count in dict(doc.get("checked", {})).items()
+        }
+        report.violations = {
+            str(prop): [Violation.from_dict(v) for v in vs]
+            for prop, vs in dict(doc.get("violations", {})).items()
+        }
+        return report
 
 
 # ---------------------------------------------------------------------------

@@ -70,41 +70,69 @@ class PartitionedHardware(MachineEnvironment):
     def _partitioned_access(
         self, address: int, label: Label, instruction: bool
     ) -> int:
-        """One access with timing label ``label``; returns its cost."""
+        """One access with timing label ``label``; returns its cost.
+
+        Split into a TLB stage and a cache stage so variant designs (the
+        zoo's leaky-TLB model, future vectorized fast models) can replace
+        one stage without re-implementing the other.
+        """
+        return self._tlb_access(address, label, instruction) + \
+            self._cache_access(address, label, instruction)
+
+    def _tlb_access(
+        self, address: int, label: Label, instruction: bool
+    ) -> int:
+        """Address translation with timing label ``label``.
+
+        A hit in any partition at or below ``label`` is free; a miss walks
+        the page table and installs into the own-level partition.
+        """
         searched = [
             p for p in self.lattice.levels() if p.flows_to(label)
         ]
         own = self.partitions[label]
         if instruction:
             tlb_of = lambda h: h.inst_tlb  # noqa: E731
-            l1_of = lambda h: h.l1_inst  # noqa: E731
-            l2_of = lambda h: h.l2_inst  # noqa: E731
         else:
             tlb_of = lambda h: h.data_tlb  # noqa: E731
-            l1_of = lambda h: h.l1_data  # noqa: E731
-            l2_of = lambda h: h.l2_data  # noqa: E731
-
-        recording = self.recorder.active
-        tlb_name = "itlb" if instruction else "dtlb"
-        cache_side = "i" if instruction else "d"
 
         cost = 0
-        # TLB: hit in any searched partition is free; a miss walks the page
-        # table and installs into the own-level partition.
         tlb_hit = None
         for p in searched:
             if tlb_of(self.partitions[p]).lookup(address):
                 tlb_hit = p
                 break
-        if recording:
-            self.recorder.on_cache_access(tlb_name, tlb_hit is not None)
+        if self.recorder.active:
+            self.recorder.on_cache_access(
+                "itlb" if instruction else "dtlb", tlb_hit is not None
+            )
         if tlb_hit is None:
             cost += tlb_of(own).params.miss_penalty
             tlb_of(own).touch(address)
             self._evict_above(address, label, tlb_of)
         elif tlb_hit == label:
             tlb_of(own).touch(address)  # LRU promotion in the own partition
+        return cost
 
+    def _cache_access(
+        self, address: int, label: Label, instruction: bool
+    ) -> int:
+        """The L1/L2 stage of one access with timing label ``label``."""
+        searched = [
+            p for p in self.lattice.levels() if p.flows_to(label)
+        ]
+        own = self.partitions[label]
+        if instruction:
+            l1_of = lambda h: h.l1_inst  # noqa: E731
+            l2_of = lambda h: h.l2_inst  # noqa: E731
+        else:
+            l1_of = lambda h: h.l1_data  # noqa: E731
+            l2_of = lambda h: h.l2_data  # noqa: E731
+
+        recording = self.recorder.active
+        cache_side = "i" if instruction else "d"
+
+        cost = 0
         # L1 search across all partitions at or below the timing label.
         l1_params = l1_of(own).params
         l2_params = l2_of(own).params

@@ -1,0 +1,886 @@
+"""The contract-verification campaign: property-based testing of the zoo.
+
+``repro verify-hw`` treats every :class:`~repro.hardware.registry.HardwareSpec`
+as a falsifiable claim and attacks it with Hypothesis:
+
+* for **expected-secure** models (null / nofill / partitioned), the campaign
+  must fail to find any violation of Properties 2 and 5-7 across every
+  supported lattice and machine-parameter point;
+* for **expected-insecure** models (standard/bus/writeback/speculative/
+  frequency/leakytlb), the campaign must *detect* a violation of one of the
+  properties the spec declares it breaks -- an undetected insecure model
+  means the checkers are vacuous, which is just as much a failure.
+
+One generated example is a :class:`ContractCase`: a shared warm-up stimulus
+sequence, a divergence phase whose write labels cannot reach the observation
+level (so the two environments stay ``~level``-equivalent by Property 5),
+and a probe step.  :func:`check_case` evaluates all four properties on that
+single case, which gives Hypothesis one scalar predicate to falsify and --
+crucially -- lets it *shrink* a failure to a minimal stimulus sequence.
+
+Counterexamples serialize to JSON (schema ``repro.verify-hw/1``) together
+with the lattice, the derandomization seed, and the violated property, and
+:func:`replay_counterexample` re-executes them from the file alone; the CI
+job uploads them as artifacts and a regression test replays a stored one.
+
+For each *detected* model the campaign then quantifies the leak end to end
+(:func:`measure_end_to_end`): it runs the unmitigated password and S-box
+victims over a family of secrets and measures how many distinguishable
+probe signatures a coresident adversary observes -- secure hardware yields
+exactly one class (that is Properties 5/6 in action); leaky hardware yields
+several, i.e. ``log2(classes)`` bits per run through the hardware channel
+alone (the *direct* completion-time channel exists on every model and is
+the mitigation's job, not the hardware's).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from zlib import crc32
+
+from hypothesis import HealthCheck, Phase, given
+from hypothesis import seed as hypothesis_seed
+from hypothesis import settings as hypothesis_settings
+from hypothesis import strategies as st
+from hypothesis.database import DirectoryBasedExampleDatabase
+
+from ..lattice import Label, Lattice
+from ..machine.layout import AccessTrace, Layout
+from .contract import Stimulus, Violation, _apply, _diverging_labels
+from .interface import MachineEnvironment, StepKind
+from .registry import (
+    LATTICE_POINTS,
+    PARAM_POINTS,
+    REGISTRY,
+    HardwareRegistry,
+    HardwareRegistryError,
+    HardwareSpec,
+)
+
+EnvFactory = Callable[[], MachineEnvironment]
+
+#: JSON schema tag for serialized counterexamples.
+COUNTEREXAMPLE_SCHEMA = "repro.verify-hw/1"
+
+#: Address pools for generated stimuli.  The data pool strides 24 bytes so
+#: that, on the tiny machine (8-byte blocks, 2 sets, 64-byte pages), it
+#: produces both cache-set conflicts and multiple TLB pages; the code pool
+#: does the same for the instruction side.
+DATA_POOL: Tuple[int, ...] = tuple(0x1000_0000 + i * 24 for i in range(8))
+CODE_POOL: Tuple[int, ...] = tuple(0x0040_0000 + i * 24 for i in range(8))
+
+_STEP_KINDS = (
+    StepKind.SKIP,
+    StepKind.ASSIGN,
+    StepKind.BRANCH,
+    StepKind.MITIGATE,
+)
+
+
+# ---------------------------------------------------------------------------
+# Contract cases: one generated example
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContractCase:
+    """One generated scenario for the property checkers.
+
+    ``shared`` steps run on both environments of the equivalence pair;
+    ``divergent`` steps run on the second only, and are restricted to write
+    labels that cannot reach any level at or below ``level`` -- by Property
+    5 they must leave the pair ``~level``-equivalent.  ``probe`` is the
+    observation whose cost (Property 6, when its read label flows to
+    ``level``) and state effect (Property 7) are compared.
+    """
+
+    level: Label
+    shared: Tuple[Stimulus, ...]
+    divergent: Tuple[Stimulus, ...]
+    probe: Stimulus
+
+
+def check_case(
+    factory: EnvFactory, lattice: Lattice, case: ContractCase
+) -> Optional[Violation]:
+    """Evaluate Properties 2 and 5-7 on one case; None means all hold."""
+    sequence = (*case.shared, *case.divergent, case.probe)
+
+    # Property 2: the same stimuli drive two fresh environments identically.
+    env_a, env_b = factory(), factory()
+    for i, stim in enumerate(sequence):
+        cost_a, cost_b = _apply(env_a, stim), _apply(env_b, stim)
+        if cost_a != cost_b:
+            return Violation(
+                "P2-determinism",
+                f"step {i}: identical stimuli cost {cost_a} != {cost_b}",
+            )
+    if env_a.full_state() != env_b.full_state():
+        return Violation(
+            "P2-determinism", "identical stimulus sequences diverged in state"
+        )
+
+    # Property 5: each step leaves unreachable levels untouched.
+    env = factory()
+    for i, stim in enumerate(sequence):
+        before = {
+            level: env.project(level)
+            for level in lattice.levels()
+            if not stim.write_label.flows_to(level)
+        }
+        _apply(env, stim)
+        for level, snapshot in before.items():
+            if env.project(level) != snapshot:
+                return Violation(
+                    "P5-write-label",
+                    f"step {i} (lw={stim.write_label}) modified level "
+                    f"{level} state",
+                )
+
+    # Build the ~level-equivalent pair: env2 additionally runs the
+    # divergence phase, whose write labels cannot reach <= level.
+    env1, env2 = factory(), factory()
+    for stim in case.shared:
+        _apply(env1, stim)
+        _apply(env2, stim)
+    for stim in case.divergent:
+        _apply(env2, stim)
+    if not env1.equivalent_to(env2, case.level):
+        # The per-step check above should have caught this; keep a guard so
+        # an unexpected equivalence break is still attributed to P5.
+        return Violation(
+            "P5-write-label",
+            f"divergence phase with lw !<= {case.level} broke "
+            f"~{case.level} equivalence",
+        )
+
+    # Property 6: with the probe's read label at or below the observation
+    # level, both pair members must charge the same cost.
+    if case.probe.read_label.flows_to(case.level):
+        cost1 = _apply(env1.clone(), case.probe)
+        cost2 = _apply(env2.clone(), case.probe)
+        if cost1 != cost2:
+            return Violation(
+                "P6-read-label",
+                f"~{case.level}-equivalent environments charged "
+                f"{cost1} != {cost2} for a probe with "
+                f"lr={case.probe.read_label}",
+            )
+
+    # Property 7: the same probe trace preserves ~level equivalence.
+    _apply(env1, case.probe)
+    _apply(env2, case.probe)
+    if not env1.equivalent_to(env2, case.level):
+        return Violation(
+            "P7-single-step-NI",
+            f"equal probe traces broke ~{case.level} equivalence "
+            f"(probe lr={case.probe.read_label}, "
+            f"lw={case.probe.write_label})",
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def stimulus_strategy(
+    draw,
+    lattice: Lattice,
+    label_pairs: Optional[Tuple[Tuple[Label, Label], ...]] = None,
+    code_pool: Tuple[int, ...] = CODE_POOL,
+    data_pool: Tuple[int, ...] = DATA_POOL,
+    kinds: Tuple[StepKind, ...] = _STEP_KINDS,
+) -> Stimulus:
+    """One step; ``label_pairs`` restricts the (read, write) label choice.
+
+    Duplicates in the pools are deliberate: the probe of a
+    :class:`ContractCase` is drawn from the base pools *plus* every address
+    the earlier phases touched, which biases it toward collisions (re-using
+    a trained branch site or a resident line is what exposes most leaks).
+    """
+    kind = draw(st.sampled_from(kinds))
+    instruction = draw(st.sampled_from(code_pool))
+    reads = tuple(draw(st.lists(st.sampled_from(data_pool), max_size=2)))
+    writes = tuple(draw(st.lists(st.sampled_from(data_pool), max_size=1)))
+    taken = draw(st.booleans()) if kind is StepKind.BRANCH else None
+    if label_pairs is not None:
+        read_label, write_label = draw(st.sampled_from(label_pairs))
+    else:
+        read_label = draw(st.sampled_from(lattice.levels()))
+        # Favour lr = lw, the combination real designs optimize for.
+        write_label = (
+            read_label
+            if draw(st.booleans())
+            else draw(st.sampled_from(lattice.levels()))
+        )
+    trace = AccessTrace(
+        instruction=instruction, reads=reads, writes=writes, taken=taken
+    )
+    return Stimulus(kind, trace, read_label, write_label)
+
+
+@st.composite
+def case_strategy(draw, lattice: Lattice) -> ContractCase:
+    """A full :class:`ContractCase` over ``lattice``."""
+    level = draw(st.sampled_from(lattice.levels()))
+    shared = tuple(
+        draw(st.lists(stimulus_strategy(lattice), max_size=12))
+    )
+    diverging = tuple(_diverging_labels(lattice, level))
+    if diverging:
+        # At least one diverging step, with branches over-weighted:
+        # divergence through the (shared) predictor needs the phase to
+        # actually train a branch site.
+        divergent = tuple(
+            draw(
+                st.lists(
+                    stimulus_strategy(
+                        lattice,
+                        label_pairs=diverging,
+                        kinds=_STEP_KINDS + (StepKind.BRANCH,) * 2,
+                    ),
+                    min_size=1,
+                    max_size=8,
+                )
+            )
+        )
+    else:
+        # At lattice top nothing can diverge; the case still exercises
+        # Properties 2, 5 and 7 on equal environments.
+        divergent = ()
+    probe_read = draw(
+        st.sampled_from(
+            tuple(l for l in lattice.levels() if l.flows_to(level))
+        )
+    )
+    probe_write = draw(st.sampled_from(lattice.levels()))
+    history = (*shared, *divergent)
+    if divergent and draw(st.booleans()):
+        # Replay probe: re-execute one divergence-phase trace under the
+        # probe labels -- the classic attack shape (time what the victim
+        # just did).  This is what reads back a trained branch site.
+        template = draw(st.sampled_from(divergent))
+        probe = Stimulus(
+            template.kind, template.trace, probe_read, probe_write
+        )
+        return ContractCase(level, shared, divergent, probe)
+    used_code = tuple(s.trace.instruction for s in history)
+    # Branch sites trained earlier are the prime observation targets
+    # (shared-predictor leaks need the probe to alias one), so weight them.
+    used_branches = tuple(
+        s.trace.instruction for s in history if s.trace.taken is not None
+    )
+    used_data = tuple(
+        a for s in history for a in (*s.trace.reads, *s.trace.writes)
+    )
+    probe = draw(
+        stimulus_strategy(
+            lattice,
+            label_pairs=((probe_read, probe_write),),
+            code_pool=CODE_POOL + used_code + used_branches * 4,
+            data_pool=DATA_POOL + used_data,
+            kinds=(StepKind.ASSIGN, StepKind.BRANCH),
+        )
+    )
+    return ContractCase(level, shared, divergent, probe)
+
+
+# ---------------------------------------------------------------------------
+# Counterexample serialization (schema repro.verify-hw/1)
+# ---------------------------------------------------------------------------
+
+
+def lattice_to_dict(lattice: Lattice) -> Dict[str, object]:
+    levels = [level.name for level in lattice.levels()]
+    covers = [
+        [low.name, high.name]
+        for low in lattice.levels()
+        for high in lattice.levels()
+        if low is not high and low.flows_to(high)
+    ]
+    return {"levels": levels, "covers": covers}
+
+
+def lattice_from_dict(doc: Dict[str, object]) -> Lattice:
+    return Lattice(
+        [str(name) for name in doc["levels"]],
+        [(str(lo), str(hi)) for lo, hi in doc["covers"]],
+    )
+
+
+def stimulus_to_dict(stim: Stimulus) -> Dict[str, object]:
+    return {
+        "kind": stim.kind.value,
+        "read_label": stim.read_label.name,
+        "write_label": stim.write_label.name,
+        "trace": {
+            "instruction": stim.trace.instruction,
+            "reads": list(stim.trace.reads),
+            "writes": list(stim.trace.writes),
+            "taken": stim.trace.taken,
+        },
+    }
+
+
+def stimulus_from_dict(doc: Dict[str, object], lattice: Lattice) -> Stimulus:
+    trace = doc["trace"]
+    return Stimulus(
+        kind=StepKind(doc["kind"]),
+        trace=AccessTrace(
+            instruction=int(trace["instruction"]),
+            reads=tuple(trace["reads"]),
+            writes=tuple(trace["writes"]),
+            taken=trace["taken"],
+        ),
+        read_label=lattice[str(doc["read_label"])],
+        write_label=lattice[str(doc["write_label"])],
+    )
+
+
+def case_to_dict(case: ContractCase) -> Dict[str, object]:
+    return {
+        "level": case.level.name,
+        "shared": [stimulus_to_dict(s) for s in case.shared],
+        "divergent": [stimulus_to_dict(s) for s in case.divergent],
+        "probe": stimulus_to_dict(case.probe),
+    }
+
+
+def case_from_dict(doc: Dict[str, object], lattice: Lattice) -> ContractCase:
+    return ContractCase(
+        level=lattice[str(doc["level"])],
+        shared=tuple(
+            stimulus_from_dict(s, lattice) for s in doc["shared"]
+        ),
+        divergent=tuple(
+            stimulus_from_dict(s, lattice) for s in doc["divergent"]
+        ),
+        probe=stimulus_from_dict(doc["probe"], lattice),
+    )
+
+
+def counterexample_to_dict(
+    *,
+    model: str,
+    lattice_point: str,
+    param_point: str,
+    seed: int,
+    violation: Violation,
+    case: ContractCase,
+    lattice: Lattice,
+) -> Dict[str, object]:
+    """A fully replayable record of one falsified contract property."""
+    return {
+        "schema": COUNTEREXAMPLE_SCHEMA,
+        "model": model,
+        "lattice_point": lattice_point,
+        "param_point": param_point,
+        "seed": seed,
+        "violation": violation.as_dict(),
+        "lattice": lattice_to_dict(lattice),
+        "case": case_to_dict(case),
+    }
+
+
+def replay_counterexample(
+    doc: Union[str, Path, Dict[str, object]],
+    registry: HardwareRegistry = REGISTRY,
+) -> Optional[Violation]:
+    """Re-execute a serialized counterexample; returns the fresh verdict.
+
+    Accepts the JSON document itself or a path to it.  The stored lattice
+    is reconstructed from the file, so replay does not depend on the
+    campaign's lattice-point table staying stable.
+    """
+    if isinstance(doc, (str, Path)):
+        doc = json.loads(Path(doc).read_text())
+    if doc.get("schema") != COUNTEREXAMPLE_SCHEMA:
+        raise ValueError(
+            f"not a verify-hw counterexample (schema "
+            f"{doc.get('schema')!r}, expected {COUNTEREXAMPLE_SCHEMA!r})"
+        )
+    lattice = lattice_from_dict(doc["lattice"])
+    case = case_from_dict(doc["case"], lattice)
+    spec = registry.get(str(doc["model"]))
+    params_factory = PARAM_POINTS[str(doc["param_point"])]
+    return check_case(
+        lambda: spec.make(lattice, params_factory()), lattice, case
+    )
+
+
+# ---------------------------------------------------------------------------
+# The Hypothesis campaign over one (model, lattice, params) point
+# ---------------------------------------------------------------------------
+
+
+class ContractFalsified(AssertionError):
+    """Raised inside the Hypothesis property when a case finds a violation."""
+
+
+def campaign_point(
+    factory: EnvFactory,
+    lattice: Lattice,
+    *,
+    max_examples: int = 300,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Attack one model instance with ``max_examples`` generated cases.
+
+    Returns ``{"examples": n, "violation": ..., "case": ...}`` where the
+    case, if any, is the *shrunk* minimal counterexample (Hypothesis
+    re-executes the minimal failing example last, so the final capture
+    wins).  ``seed`` derandomizes generation; the test-suite profile's
+    ``derandomize=True`` is explicitly overridden so the seed is honoured.
+    (``@seed`` disables Hypothesis's own example database, so cross-run
+    persistence lives in :func:`run_campaign`, which stores and replays
+    the serialized counterexamples instead.)
+    """
+    state: Dict[str, object] = {"examples": 0, "violation": None, "case": None}
+
+    @hypothesis_seed(seed)
+    @hypothesis_settings(
+        max_examples=max_examples,
+        deadline=None,
+        database=None,
+        derandomize=False,
+        print_blob=False,
+        phases=(Phase.generate, Phase.shrink),
+        suppress_health_check=list(HealthCheck),
+    )
+    @given(case=case_strategy(lattice))
+    def attack(case: ContractCase) -> None:
+        state["examples"] = int(state["examples"]) + 1
+        violation = check_case(factory, lattice, case)
+        if violation is not None:
+            state["violation"] = violation
+            state["case"] = case
+            raise ContractFalsified(str(violation))
+
+    try:
+        attack()
+    except ContractFalsified:
+        pass
+    return state
+
+
+def point_seed(campaign_seed: int, model: str, lattice_point: str,
+               param_point: str) -> int:
+    """A stable per-point derandomization seed derived from the campaign's."""
+    return campaign_seed ^ crc32(
+        f"{model}:{lattice_point}:{param_point}".encode()
+    )
+
+
+# ---------------------------------------------------------------------------
+# End-to-end leak quantification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LeakMeasurement:
+    """How much a coresident adversary learns from one victim run.
+
+    ``probe_*`` counts distinguishable *hardware* observations (cache/TLB/
+    predictor/clock probes after the victim ran) across the secret family;
+    on contract-satisfying hardware there is exactly one class.  ``direct_*``
+    counts distinguishable victim completion times -- the direct channel the
+    unmitigated programs leak on *every* model (mitigation's job).
+    """
+
+    secrets: int
+    probe_classes: int
+    direct_classes: int
+
+    @property
+    def probe_bits(self) -> float:
+        return math.log2(self.probe_classes) if self.probe_classes else 0.0
+
+    @property
+    def direct_bits(self) -> float:
+        return math.log2(self.direct_classes) if self.direct_classes else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "secrets": self.secrets,
+            "probe_classes": self.probe_classes,
+            "probe_bits": round(self.probe_bits, 3),
+            "direct_classes": self.direct_classes,
+            "direct_bits": round(self.direct_bits, 3),
+        }
+
+
+def _probe_costs(
+    environment: MachineEnvironment, addresses: Sequence[int]
+) -> Tuple[int, ...]:
+    """Bottom-labeled read probes, one clone per address (prime-and-probe)."""
+    bottom = environment.lattice.bottom
+    costs = []
+    for address in addresses:
+        clone = environment.clone()
+        costs.append(
+            clone.step(
+                StepKind.ASSIGN,
+                AccessTrace(
+                    instruction=0x7FFF_0000, reads=(address,), writes=()
+                ),
+                bottom,
+                bottom,
+            )
+        )
+    return tuple(costs)
+
+
+def _branch_probe_costs(
+    environment: MachineEnvironment, instructions: Sequence[int]
+) -> Tuple[int, ...]:
+    """Bottom-labeled branch probes at the victim's instruction addresses.
+
+    On hardware with a shared predictor this reads back what the victim's
+    branches trained (the Spectre-style observation); contract-satisfying
+    hardware charges the same cost regardless of the victim's secrets.
+    """
+    bottom = environment.lattice.bottom
+    costs = []
+    for instruction in instructions:
+        for taken in (False, True):
+            clone = environment.clone()
+            costs.append(
+                clone.step(
+                    StepKind.BRANCH,
+                    AccessTrace(
+                        instruction=instruction, reads=(), writes=(),
+                        taken=taken,
+                    ),
+                    bottom,
+                    bottom,
+                )
+            )
+    return tuple(costs)
+
+
+def measure_end_to_end(
+    spec: HardwareSpec,
+    *,
+    secrets: int = 8,
+    password_length: int = 16,
+    params_point: Optional[str] = None,
+) -> LeakMeasurement:
+    """Drive the unmitigated password and S-box victims over a family of
+    ``secrets`` secrets on ``spec``'s hardware and count what an adversary's
+    probes can tell apart."""
+    from ..apps.password import PasswordChecker
+    from ..apps.sbox_cipher import KEY_LENGTH, SboxCipher
+
+    if params_point is None:
+        params_point = spec.quantify_point
+    params_factory = PARAM_POINTS[params_point]
+    checker = PasswordChecker(mitigated=False, length=password_length)
+    cipher = SboxCipher(mitigated=False, length=32, plaintext_length=16)
+    guess = [0] * password_length
+    plaintext = list(range(16))
+
+    # The adversary knows the (static, public) layouts: it probes the
+    # victims' own data addresses and branch sites, the strongest
+    # coresident position.
+    pw_layout = Layout.build(checker.program, checker.memory(guess, guess))
+    pw_data = [
+        pw_layout.data_address(access)
+        for access in _array_accesses(pw_layout, "stored")
+    ]
+    pw_code = sorted(pw_layout.instr_addr.values())
+    sbox_layout = Layout.build(
+        cipher.program, cipher.memory([0] * KEY_LENGTH, plaintext)
+    )
+    sbox_data = [
+        sbox_layout.data_address(access)
+        for access in _array_accesses(sbox_layout, "ctext")
+    ] + [
+        sbox_layout.data_address(access)
+        for access in _array_accesses(sbox_layout, "sbox")
+    ][::16]
+
+    probe_signatures = set()
+    direct_times = set()
+    for index in range(secrets):
+        prefix = index % (password_length + 1)
+        stored = [0] * prefix + [1] * (password_length - prefix)
+        key = [(index * 37 + i * 11) % 251 for i in range(KEY_LENGTH)]
+        pw_run = checker.run(
+            stored, guess, hardware=spec.name, params=params_factory()
+        )
+        sbox_run = cipher.run(
+            key, plaintext, hardware=spec.name, params=params_factory()
+        )
+        probe_signatures.add(
+            _probe_costs(pw_run.environment, pw_data)
+            + _branch_probe_costs(pw_run.environment, pw_code)
+            + _probe_costs(sbox_run.environment, sbox_data)
+        )
+        direct_times.add((pw_run.time, sbox_run.time))
+    return LeakMeasurement(
+        secrets=secrets,
+        probe_classes=len(probe_signatures),
+        direct_classes=len(direct_times),
+    )
+
+
+def _array_accesses(layout: Layout, name: str):
+    from ..machine.layout import DataAccess
+
+    return [
+        DataAccess(name, i) for i in range(layout.array_len[name])
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The full campaign
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ModelVerdict:
+    """The campaign's outcome for one (model, lattice, params) point."""
+
+    model: str
+    lattice_point: str
+    param_point: str
+    expected_secure: bool
+    violates: Tuple[str, ...]
+    seed: int
+    examples: int = 0
+    violation: Optional[Violation] = None
+    counterexample: Optional[Dict[str, object]] = None
+    leak: Optional[LeakMeasurement] = None
+
+    @property
+    def detected(self) -> bool:
+        return self.violation is not None
+
+    def as_expected(self) -> bool:
+        """Did this point behave as its spec claims?
+
+        Secure models must survive; insecure models must be detected, and
+        when the spec names the broken properties the detected violation
+        must be one of them.
+        """
+        if self.expected_secure:
+            return not self.detected
+        if not self.detected:
+            return False
+        if self.violates:
+            return self.violation.prop in self.violates
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "lattice": self.lattice_point,
+            "params": self.param_point,
+            "expected": "secure" if self.expected_secure else "insecure",
+            "violates": list(self.violates),
+            "seed": self.seed,
+            "examples": self.examples,
+            "detected": self.detected,
+            "as_expected": self.as_expected(),
+            "violation": self.violation.as_dict() if self.violation else None,
+            "leak": self.leak.as_dict() if self.leak else None,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Every verdict from one ``repro verify-hw`` run."""
+
+    verdicts: List[ModelVerdict] = field(default_factory=list)
+    seed: int = 0
+    max_examples: int = 0
+
+    def ok(self) -> bool:
+        return all(v.as_expected() for v in self.verdicts)
+
+    def surprises(self) -> List[ModelVerdict]:
+        return [v for v in self.verdicts if not v.as_expected()]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.verify-hw.campaign/1",
+            "seed": self.seed,
+            "max_examples": self.max_examples,
+            "ok": self.ok(),
+            "verdicts": [v.as_dict() for v in self.verdicts],
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for v in self.verdicts:
+            point = f"{v.model}[{v.lattice_point},{v.param_point}]"
+            expect = "secure" if v.expected_secure else "insecure"
+            if v.detected:
+                outcome = f"VIOLATED {v.violation.prop}"
+                if v.leak is not None:
+                    outcome += (
+                        f"; adversary observes {v.leak.probe_classes} "
+                        f"probe classes (~{v.leak.probe_bits:.1f} bits/run)"
+                    )
+            else:
+                outcome = "all properties held"
+            mark = "ok " if v.as_expected() else "BAD"
+            lines.append(
+                f"{mark} {point:34s} expected {expect:8s} "
+                f"[{v.examples} examples, seed {v.seed}] {outcome}"
+            )
+        return lines
+
+
+def _replay_stored_failures(
+    database: Optional[DirectoryBasedExampleDatabase],
+    key: bytes,
+    registry: HardwareRegistry,
+) -> Optional[Dict[str, object]]:
+    """Re-check counterexamples persisted under ``key`` in a prior run.
+
+    Returns a ``campaign_point``-shaped state for the first stored document
+    that still falsifies the contract (``examples`` counts the replays), or
+    None when nothing is stored or every stored case has gone stale --
+    entries that no longer reproduce are deleted so the database tracks the
+    current models.
+    """
+    if database is None:
+        return None
+    replayed = 0
+    for blob in sorted(database.fetch(key)):
+        try:
+            doc = json.loads(blob.decode())
+            violation = replay_counterexample(doc, registry)
+        except (ValueError, KeyError, HardwareRegistryError):
+            database.delete(key, blob)
+            continue
+        replayed += 1
+        if violation is not None:
+            case = case_from_dict(
+                doc["case"], lattice_from_dict(doc["lattice"])
+            )
+            return {
+                "examples": replayed,
+                "violation": violation,
+                "case": case,
+            }
+        database.delete(key, blob)
+    return None
+
+
+def run_campaign(
+    registry: HardwareRegistry = REGISTRY,
+    *,
+    models: Optional[Sequence[str]] = None,
+    lattice_points: Optional[Sequence[str]] = None,
+    max_examples: int = 300,
+    seed: int = 0,
+    quantify: bool = True,
+    counterexample_dir: Optional[Union[str, Path]] = None,
+    database_dir: Optional[Union[str, Path]] = None,
+) -> CampaignResult:
+    """Run the verification campaign over the registry.
+
+    Every selected model is attacked at every (lattice point, parameter
+    point) its spec declares, each with a seed derived stably from
+    ``seed`` and the point's name (so single-model reruns reproduce the
+    full campaign's generation exactly).  With ``counterexample_dir`` each
+    shrunk counterexample is written as replayable JSON.
+
+    ``database_dir`` persists an example database across runs: every
+    detected counterexample is stored (as its replayable JSON document,
+    keyed by point), and subsequent campaigns *replay* the stored failures
+    before generating fresh examples -- so CI refinds a known leak
+    immediately even with a tiny example budget.  Hypothesis's own
+    database cannot serve here because ``@seed`` (which we need for
+    printable, derandomized generation) disables it.
+    """
+    specs = (
+        [registry.get(name) for name in models]
+        if models
+        else list(registry)
+    )
+    database = (
+        DirectoryBasedExampleDatabase(str(database_dir))
+        if database_dir
+        else None
+    )
+    result = CampaignResult(seed=seed, max_examples=max_examples)
+    for spec in specs:
+        quantified = False
+        for lattice_point in spec.lattice_points:
+            if lattice_points and lattice_point not in lattice_points:
+                continue
+            for param_point in spec.param_points:
+                lattice = LATTICE_POINTS[lattice_point]()
+                params_factory = PARAM_POINTS[param_point]
+                sub_seed = point_seed(
+                    seed, spec.name, lattice_point, param_point
+                )
+                db_key = (
+                    f"{COUNTEREXAMPLE_SCHEMA}:{spec.name}:"
+                    f"{lattice_point}:{param_point}"
+                ).encode()
+                state = _replay_stored_failures(
+                    database, db_key, registry
+                )
+                if state is None:
+                    state = campaign_point(
+                        lambda s=spec, l=lattice, pf=params_factory: s.make(
+                            l, pf()
+                        ),
+                        lattice,
+                        max_examples=max_examples,
+                        seed=sub_seed,
+                    )
+                verdict = ModelVerdict(
+                    model=spec.name,
+                    lattice_point=lattice_point,
+                    param_point=param_point,
+                    expected_secure=spec.expected_secure,
+                    violates=spec.violates,
+                    seed=sub_seed,
+                    examples=int(state["examples"]),
+                    violation=state["violation"],
+                )
+                if verdict.detected:
+                    verdict.counterexample = counterexample_to_dict(
+                        model=spec.name,
+                        lattice_point=lattice_point,
+                        param_point=param_point,
+                        seed=sub_seed,
+                        violation=state["violation"],
+                        case=state["case"],
+                        lattice=lattice,
+                    )
+                    if database is not None:
+                        database.save(
+                            db_key,
+                            json.dumps(
+                                verdict.counterexample, sort_keys=True
+                            ).encode(),
+                        )
+                    if counterexample_dir is not None:
+                        directory = Path(counterexample_dir)
+                        directory.mkdir(parents=True, exist_ok=True)
+                        path = directory / (
+                            f"counterexample_{spec.name}_"
+                            f"{lattice_point}_{param_point}.json"
+                        )
+                        path.write_text(
+                            json.dumps(verdict.counterexample, indent=2)
+                            + "\n"
+                        )
+                    if quantify and not quantified:
+                        verdict.leak = measure_end_to_end(spec)
+                        quantified = True
+                result.verdicts.append(verdict)
+    return result

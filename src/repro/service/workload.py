@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from ..hardware import REGISTRY
 from ..lang.parser import DEFAULT_LATTICE
 from ..lattice import Lattice, chain
 from .handlers import Handler, Payload, make_handler
@@ -150,6 +151,11 @@ class WorkloadSpec:
         return cls.from_dict(raw)
 
     def validate(self) -> None:
+        if self.hardware not in REGISTRY:
+            raise WorkloadError(
+                f"hardware must be one of {list(REGISTRY.choices())}, "
+                f"got {self.hardware!r}"
+            )
         if self.policy not in POLICY_CHOICES:
             raise WorkloadError(
                 f"policy must be one of {POLICY_CHOICES}, got {self.policy!r}"

@@ -444,3 +444,73 @@ class TestContract:
         rc = main(["contract", "nopar", "--trials", "4"])
         assert rc == 1
         assert "P5-write-label" in capsys.readouterr().out
+
+    def test_unknown_model_is_a_usage_error(self, capsys):
+        # argparse enforces the registry-derived choices list.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["contract", "vaporware"])
+        assert excinfo.value.code == 2
+        assert "vaporware" in capsys.readouterr().err
+
+
+class TestVerifyHw:
+    def test_list_catalogs_the_zoo(self, capsys):
+        rc = main(["verify-hw", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("null", "standard", "writeback", "speculative",
+                     "leakytlb"):
+            assert name in out
+        assert "nopar" in out  # aliases are advertised too
+
+    def test_secure_subset_passes(self, capsys, tmp_path):
+        output = tmp_path / "campaign.json"
+        rc = main([
+            "verify-hw", "--models", "null", "--lattices", "two_point",
+            "--max-examples", "15", "--no-quantify",
+            "--output", str(output),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "derandomization seed: 0" in out
+        assert "campaign passed" in out
+        doc = json.loads(output.read_text())
+        assert doc["schema"] == "repro.verify-hw.campaign/1"
+        assert doc["ok"] is True
+
+    def test_detected_leak_writes_counterexample_artifact(
+        self, capsys, tmp_path
+    ):
+        rc = main([
+            "verify-hw", "--models", "bus", "--max-examples", "60",
+            "--seed", "3", "--no-quantify",
+            "--counterexamples", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "VIOLATED P6-read-label" in capsys.readouterr().out
+        artifact = tmp_path / "counterexample_bus_two_point_tiny.json"
+        doc = json.loads(artifact.read_text())
+        assert doc["schema"] == "repro.verify-hw/1"
+        assert doc["model"] == "bus"
+
+    def test_undetected_insecure_model_fails_the_campaign(self, capsys):
+        # Two examples cannot find the speculative leak (verified for seed
+        # 0): the campaign must fail rather than quietly pass the model.
+        rc = main([
+            "verify-hw", "--models", "speculative", "--max-examples", "2",
+            "--seed", "0", "--no-quantify",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "CAMPAIGN FAILED" in out
+        assert "undetected" in out
+
+    def test_unknown_model_is_a_usage_error(self, capsys):
+        rc = main(["verify-hw", "--models", "bogus"])
+        assert rc == 2
+        assert "unknown hardware model" in capsys.readouterr().err
+
+    def test_unknown_lattice_is_a_usage_error(self, capsys):
+        rc = main(["verify-hw", "--lattices", "pentagon"])
+        assert rc == 2
+        assert "pentagon" in capsys.readouterr().err

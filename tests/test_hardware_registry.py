@@ -1,0 +1,137 @@
+"""The hardware registry: the zoo's single source of truth."""
+
+import pytest
+
+from repro.hardware import (
+    REGISTRY,
+    HardwareRegistry,
+    HardwareRegistryError,
+    MachineEnvironment,
+    NullHardware,
+    make_hardware,
+    tiny_machine,
+)
+from repro.hardware.registry import LATTICE_POINTS, PARAM_POINTS, HardwareSpec
+from repro.lattice import two_point
+
+EXPECTED_SECURE = {"null", "nofill", "partitioned"}
+EXPECTED_INSECURE = {
+    "standard", "bus", "writeback", "speculative", "frequency", "leakytlb"
+}
+
+
+def _null_spec(name="toy", **overrides):
+    fields = dict(
+        name=name,
+        factory=lambda lattice, params=None: NullHardware(lattice),
+        summary="test-only",
+        expected_secure=True,
+        lattice_points=("two_point",),
+    )
+    fields.update(overrides)
+    return HardwareSpec(**fields)
+
+
+class TestDefaultRegistry:
+    def test_all_models_registered(self):
+        assert set(REGISTRY.names()) == EXPECTED_SECURE | EXPECTED_INSECURE
+
+    def test_registration_order_is_stable(self):
+        # CLI choice lists and campaign output key off this order.
+        assert REGISTRY.names()[:4] == (
+            "null", "standard", "nofill", "partitioned"
+        )
+
+    def test_alias_resolves_to_canonical(self):
+        assert REGISTRY.get("nopar") is REGISTRY.get("standard")
+        assert "nopar" in REGISTRY
+        assert "nopar" in REGISTRY.choices()
+        assert "nopar" not in REGISTRY.names()
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(HardwareRegistryError, match="unknown hardware"):
+            REGISTRY.get("vaporware")
+        with pytest.raises(HardwareRegistryError, match="partitioned"):
+            REGISTRY.get("vaporware")
+
+    def test_insecure_specs_declare_violations(self):
+        for spec in REGISTRY.specs(secure=False):
+            assert spec.violates, f"{spec.name} must declare what it breaks"
+            for prop in spec.violates:
+                assert prop in (
+                    "P2-determinism", "P5-write-label",
+                    "P6-read-label", "P7-single-step-NI",
+                )
+
+    def test_secure_specs_declare_nothing(self):
+        for spec in REGISTRY.specs(secure=True):
+            assert spec.violates == ()
+
+    def test_specs_filter(self):
+        names = {s.name for s in REGISTRY.specs(secure=True)}
+        assert names == EXPECTED_SECURE
+        assert len(REGISTRY.specs()) == len(REGISTRY)
+
+    def test_every_point_name_is_known(self):
+        for spec in REGISTRY:
+            assert set(spec.lattice_points) <= set(LATTICE_POINTS)
+            assert set(spec.param_points) <= set(PARAM_POINTS)
+            assert spec.quantify_point in PARAM_POINTS
+
+    def test_make_builds_every_model(self):
+        lattice = two_point()
+        for spec in REGISTRY:
+            env = REGISTRY.make(spec.name, lattice, tiny_machine())
+            assert isinstance(env, MachineEnvironment)
+            assert env.lattice is lattice
+
+    def test_make_hardware_delegates_to_registry(self):
+        lattice = two_point()
+        env = make_hardware("bus", lattice, tiny_machine())
+        assert type(env).__name__ == "SharedBusHardware"
+
+    def test_make_hardware_unknown_is_value_error(self):
+        # HardwareRegistryError subclasses ValueError, preserving the old
+        # make_hardware contract.
+        with pytest.raises(ValueError, match="unknown hardware model"):
+            make_hardware("bogus", two_point())
+
+
+class TestRegistryMechanics:
+    def test_register_and_get(self):
+        registry = HardwareRegistry()
+        spec = registry.register(_null_spec())
+        assert registry.get("toy") is spec
+        assert len(registry) == 1
+        assert list(registry) == [spec]
+
+    def test_duplicate_name_rejected(self):
+        registry = HardwareRegistry()
+        registry.register(_null_spec())
+        with pytest.raises(HardwareRegistryError, match="already registered"):
+            registry.register(_null_spec())
+
+    def test_alias_collision_rejected(self):
+        registry = HardwareRegistry()
+        registry.register(_null_spec(name="one", aliases=("dup",)))
+        with pytest.raises(HardwareRegistryError, match="already registered"):
+            registry.register(_null_spec(name="dup"))
+
+    def test_unknown_lattice_point_rejected(self):
+        registry = HardwareRegistry()
+        with pytest.raises(HardwareRegistryError, match="lattice point"):
+            registry.register(_null_spec(lattice_points=("moebius",)))
+
+    def test_unknown_param_point_rejected(self):
+        registry = HardwareRegistry()
+        with pytest.raises(HardwareRegistryError, match="parameter point"):
+            registry.register(_null_spec(param_points=("galactic",)))
+
+    def test_unknown_quantify_point_rejected(self):
+        registry = HardwareRegistry()
+        with pytest.raises(HardwareRegistryError, match="parameter point"):
+            registry.register(_null_spec(quantify_point="galactic"))
+
+    def test_verdict_word(self):
+        assert _null_spec().verdict_word() == "secure"
+        assert _null_spec(expected_secure=False).verdict_word() == "insecure"

@@ -83,6 +83,17 @@ class TestWorkloadSpec:
                                    "think": 1})
             )
 
+    def test_rejects_unknown_hardware(self):
+        with pytest.raises(WorkloadError, match="hardware"):
+            WorkloadSpec.from_dict(spec_dict(hardware="abacus"))
+
+    def test_accepts_any_registered_hardware(self):
+        from repro.hardware import REGISTRY
+
+        for name in REGISTRY.choices():
+            spec = WorkloadSpec.from_dict(spec_dict(hardware=name))
+            assert spec.hardware == name
+
     def test_rejects_bad_scheme_and_penalty(self):
         with pytest.raises(WorkloadError, match="scheme"):
             WorkloadSpec.from_dict(spec_dict(scheme="cubic"))

@@ -1,0 +1,316 @@
+"""The verification campaign: case checking, serialization, replay."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.hardware import REGISTRY, NullHardware, StepKind, tiny_machine
+from repro.hardware.contract import Stimulus, Violation
+from repro.hardware.verify import (
+    CODE_POOL,
+    COUNTEREXAMPLE_SCHEMA,
+    ContractCase,
+    campaign_point,
+    case_from_dict,
+    case_to_dict,
+    check_case,
+    counterexample_to_dict,
+    lattice_from_dict,
+    lattice_to_dict,
+    measure_end_to_end,
+    point_seed,
+    replay_counterexample,
+    run_campaign,
+    stimulus_from_dict,
+    stimulus_to_dict,
+)
+from repro.lattice import diamond, two_point
+from repro.machine.layout import AccessTrace
+
+GOLDEN = Path(__file__).parent / "golden" / "counterexample_writeback.json"
+
+
+def _stim(kind, instruction, read, write, reads=(), writes=(), taken=None):
+    return Stimulus(
+        kind,
+        AccessTrace(
+            instruction=instruction, reads=reads, writes=writes, taken=taken
+        ),
+        read,
+        write,
+    )
+
+
+class TestCheckCase:
+    def test_null_hardware_passes_any_case(self):
+        lattice = two_point()
+        low, high = lattice.bottom, lattice.top
+        case = ContractCase(
+            level=low,
+            shared=(_stim(StepKind.ASSIGN, CODE_POOL[0], low, low,
+                          reads=(0x1000_0000,)),),
+            divergent=(_stim(StepKind.ASSIGN, CODE_POOL[1], high, high,
+                             writes=(0x1000_0018,)),),
+            probe=_stim(StepKind.ASSIGN, CODE_POOL[0], low, low,
+                        reads=(0x1000_0000,)),
+        )
+        assert check_case(lambda: NullHardware(lattice), lattice, case) is None
+
+    def test_hand_built_bus_case_breaks_p6(self):
+        lattice = two_point()
+        low, high = lattice.bottom, lattice.top
+        spec = REGISTRY.get("bus")
+        # One high step enqueues bus traffic; the low probe stalls behind it.
+        case = ContractCase(
+            level=low,
+            shared=(),
+            divergent=(_stim(StepKind.SKIP, CODE_POOL[0], high, high),),
+            probe=_stim(StepKind.SKIP, CODE_POOL[0], low, low),
+        )
+        violation = check_case(
+            lambda: spec.make(lattice, tiny_machine()), lattice, case
+        )
+        assert violation is not None
+        assert violation.prop == "P6-read-label"
+
+    def test_hand_built_speculative_case_breaks_p6(self):
+        lattice = two_point()
+        low, high = lattice.bottom, lattice.top
+        spec = REGISTRY.get("speculative")
+        # The divergence phase trains the shared predictor taken; the low
+        # probe branch then mispredicts only on the trained environment.
+        train = _stim(StepKind.BRANCH, CODE_POOL[0], low, high, taken=True)
+        case = ContractCase(
+            level=low,
+            shared=(),
+            divergent=(train, train),
+            probe=_stim(StepKind.BRANCH, CODE_POOL[0], low, low, taken=False),
+        )
+        violation = check_case(
+            lambda: spec.make(lattice, tiny_machine()), lattice, case
+        )
+        assert violation is not None
+        assert violation.prop == "P6-read-label"
+
+
+class TestSerialization:
+    def test_lattice_round_trip(self):
+        for lattice in (two_point(), diamond()):
+            twin = lattice_from_dict(lattice_to_dict(lattice))
+            assert [l.name for l in twin.levels()] == [
+                l.name for l in lattice.levels()
+            ]
+            for a in lattice.levels():
+                for b in lattice.levels():
+                    assert a.flows_to(b) == twin[a.name].flows_to(twin[b.name])
+
+    def test_stimulus_round_trip(self):
+        lattice = two_point()
+        stim = _stim(
+            StepKind.BRANCH, CODE_POOL[2], lattice.bottom, lattice.top,
+            reads=(0x1000_0000, 0x1000_0018), writes=(0x1000_0030,),
+            taken=True,
+        )
+        doc = json.loads(json.dumps(stimulus_to_dict(stim)))
+        assert stimulus_from_dict(doc, lattice) == stim
+
+    def test_case_round_trip(self):
+        lattice = two_point()
+        low, high = lattice.bottom, lattice.top
+        case = ContractCase(
+            level=low,
+            shared=(_stim(StepKind.SKIP, CODE_POOL[0], low, low),),
+            divergent=(_stim(StepKind.ASSIGN, CODE_POOL[1], high, high,
+                             writes=(0x1000_0000,)),),
+            probe=_stim(StepKind.ASSIGN, CODE_POOL[0], low, low,
+                        reads=(0x1000_0000,)),
+        )
+        assert case_from_dict(case_to_dict(case), lattice) == case
+
+    def test_counterexample_survives_json(self):
+        lattice = two_point()
+        low = lattice.bottom
+        case = ContractCase(
+            level=low, shared=(), divergent=(),
+            probe=_stim(StepKind.SKIP, CODE_POOL[0], low, low),
+        )
+        doc = counterexample_to_dict(
+            model="null", lattice_point="two_point", param_point="tiny",
+            seed=42, violation=Violation("P6-read-label", "demo"),
+            case=case, lattice=lattice,
+        )
+        twin = json.loads(json.dumps(doc))
+        assert twin["schema"] == COUNTEREXAMPLE_SCHEMA
+        assert twin["seed"] == 42
+        restored = case_from_dict(
+            twin["case"], lattice_from_dict(twin["lattice"])
+        )
+        assert restored.probe.kind is StepKind.SKIP
+
+    def test_replay_rejects_foreign_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            replay_counterexample({"schema": "something/else"})
+
+
+class TestGoldenCounterexample:
+    """The stored write-back counterexample must keep reproducing.
+
+    This is the regression net for the whole replay path: JSON -> lattice ->
+    case -> fresh environments -> the exact violation the campaign found.
+    """
+
+    def test_golden_writeback_replays_to_p6(self):
+        violation = replay_counterexample(GOLDEN)
+        assert violation is not None
+        assert violation.prop == "P6-read-label"
+
+    def test_golden_file_matches_schema(self):
+        doc = json.loads(GOLDEN.read_text())
+        assert doc["schema"] == COUNTEREXAMPLE_SCHEMA
+        assert doc["model"] == "writeback"
+        assert doc["violation"]["prop"] == "P6-read-label"
+
+
+class TestCampaignPoint:
+    def test_finds_bus_violation_and_is_reproducible(self):
+        lattice = two_point()
+        spec = REGISTRY.get("bus")
+        factory = lambda: spec.make(lattice, tiny_machine())
+        first = campaign_point(factory, lattice, max_examples=60, seed=3)
+        assert first["violation"] is not None
+        assert first["violation"].prop == "P6-read-label"
+        # Same seed, same generation: the shrunk case comes back identical.
+        second = campaign_point(factory, lattice, max_examples=60, seed=3)
+        assert second["case"] == first["case"]
+
+    def test_database_replays_stored_failures(self, tmp_path):
+        # The speculative leak is provably NOT found in 2 fresh examples at
+        # seed 0 (the CLI failure-path test depends on exactly that), so a
+        # detection on the second run can only come from the persisted
+        # counterexample -- the CI artifact story.
+        first = run_campaign(
+            models=["speculative"], max_examples=300, seed=0,
+            quantify=False, database_dir=tmp_path,
+        )
+        assert first.ok()
+        second = run_campaign(
+            models=["speculative"], max_examples=2, seed=0,
+            quantify=False, database_dir=tmp_path,
+        )
+        assert second.ok()
+        (verdict,) = second.verdicts
+        assert verdict.detected
+
+    def test_database_drops_stale_entries(self, tmp_path):
+        from hypothesis.database import DirectoryBasedExampleDatabase
+
+        # Store the golden write-back counterexample under the *null*
+        # model's key: it cannot reproduce there, so the campaign must
+        # discard it and fall back to fresh generation.
+        doc = json.loads(GOLDEN.read_text())
+        doc["model"] = "null"
+        key = b"repro.verify-hw/1:null:two_point:tiny"
+        database = DirectoryBasedExampleDatabase(str(tmp_path))
+        database.save(key, json.dumps(doc).encode())
+        result = run_campaign(
+            models=["null"], lattice_points=["two_point"],
+            max_examples=5, seed=0, quantify=False, database_dir=tmp_path,
+        )
+        assert result.ok()
+        assert list(database.fetch(key)) == []
+
+    def test_point_seed_is_stable_and_point_specific(self):
+        a = point_seed(0, "bus", "two_point", "tiny")
+        assert a == point_seed(0, "bus", "two_point", "tiny")
+        assert a != point_seed(0, "bus", "two_point", "scaled8")
+        assert a != point_seed(1, "bus", "two_point", "tiny")
+
+
+class TestCampaign:
+    def test_secure_subset_passes(self):
+        result = run_campaign(
+            models=["null"], max_examples=15, seed=0, quantify=False
+        )
+        assert result.ok()
+        assert {v.lattice_point for v in result.verdicts} == {
+            "two_point", "chain3", "diamond"
+        }
+        assert all(not v.detected for v in result.verdicts)
+
+    def test_insecure_point_writes_replayable_counterexample(self, tmp_path):
+        result = run_campaign(
+            models=["bus"], max_examples=60, seed=3, quantify=False,
+            counterexample_dir=tmp_path,
+        )
+        assert result.ok()
+        (verdict,) = result.verdicts
+        assert verdict.detected
+        path = tmp_path / "counterexample_bus_two_point_tiny.json"
+        assert path.exists()
+        assert replay_counterexample(path) is not None
+
+    def test_undetected_insecure_model_is_a_surprise(self):
+        # A spec that *claims* to leak but is actually the null design can
+        # never be detected: the campaign must flag it, not quietly pass.
+        from repro.hardware.registry import HardwareRegistry, HardwareSpec
+
+        registry = HardwareRegistry()
+        registry.register(HardwareSpec(
+            name="imposter",
+            factory=lambda lattice, params=None: NullHardware(lattice),
+            summary="claims a leak it does not have",
+            expected_secure=False,
+            violates=("P6-read-label",),
+            lattice_points=("two_point",),
+        ))
+        result = run_campaign(
+            registry, max_examples=20, seed=0, quantify=False
+        )
+        assert not result.ok()
+        (verdict,) = result.surprises()
+        assert verdict.model == "imposter"
+        assert not verdict.detected
+
+    def test_leaky_model_claiming_secure_is_a_surprise(self):
+        # The other direction: an expected-secure spec wrapping the bus
+        # model must be falsified, and the falsification is a surprise.
+        from repro.hardware.registry import HardwareRegistry, HardwareSpec
+        from repro.hardware import SharedBusHardware
+
+        registry = HardwareRegistry()
+        registry.register(HardwareSpec(
+            name="optimist",
+            factory=SharedBusHardware,
+            summary="ships the shared bus, claims the contract",
+            expected_secure=True,
+            lattice_points=("two_point",),
+        ))
+        result = run_campaign(
+            registry, max_examples=60, seed=3, quantify=False
+        )
+        assert not result.ok()
+        (verdict,) = result.surprises()
+        assert verdict.model == "optimist"
+        assert verdict.detected
+
+
+class TestEndToEnd:
+    def test_partitioned_hardware_yields_one_probe_class(self):
+        leak = measure_end_to_end(REGISTRY.get("partitioned"), secrets=4)
+        assert leak.probe_classes == 1
+        assert leak.probe_bits == 0.0
+        # The unmitigated victims still leak on the direct channel --
+        # that is the mitigation's job, not the hardware's.
+        assert leak.direct_classes > 1
+
+    def test_standard_hardware_leaks_through_probes(self):
+        leak = measure_end_to_end(REGISTRY.get("standard"), secrets=4)
+        assert leak.probe_classes > 1
+        assert leak.probe_bits > 0.0
+
+    def test_as_dict_is_json_safe(self):
+        leak = measure_end_to_end(REGISTRY.get("null"), secrets=2)
+        doc = json.loads(json.dumps(leak.as_dict()))
+        assert doc["secrets"] == 2
+        assert doc["probe_classes"] == 1
