@@ -15,6 +15,7 @@ import os
 from typing import Any, Iterable, Mapping, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def ensure_results_dir() -> str:
@@ -28,13 +29,32 @@ def write_metrics(name: str, payload: Mapping[str, Any]) -> str:
     """Write a telemetry JSON document (``repro.telemetry/1``) next to the
     text reports as ``benchmarks/results/<name>_metrics.json``; returns the
     path.  ``payload`` is typically
-    ``MetricsRegistry.as_dict(leakage=meter.as_dict())``."""
+    ``MetricsRegistry.as_dict(leakage=meter.as_dict())``.  The schema
+    version is stamped uniformly here so every ``bench_*`` artifact is
+    version-tagged even when a producer builds the document by hand."""
+    from repro.telemetry import SCHEMA
+
     ensure_results_dir()
+    doc = dict(payload)
+    doc.setdefault("schema", SCHEMA)
     path = os.path.join(RESULTS_DIR, f"{name}_metrics.json")
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
+        json.dump(doc, handle, indent=2)
         handle.write("\n")
     return path
+
+
+def write_bench(doc: Mapping[str, Any], path: "str | None" = None) -> str:
+    """Write a perf-trajectory document (``repro.bench/1``, stamping the
+    schema) and return the path.  Defaults to the repo-root
+    ``BENCH_<kind>.json`` — the committed baselines that ``repro bench
+    --compare`` gates against (docs/PROFILING.md)."""
+    from repro.telemetry.bench import write_bench_document
+
+    if path is None:
+        kind = doc.get("kind", "core")
+        path = os.path.join(REPO_ROOT, f"BENCH_{kind}.json")
+    return write_bench_document(path, doc)
 
 
 def write_trace(name: str, spans) -> str:

@@ -10,9 +10,11 @@ concurrency level against the three scheduler policies:
 * **quantized** -- TIFC-style batched starts and grid-aligned releases.
 
 Per cell the table reports throughput (completed requests per million
-cycles of makespan), p50/p99 client-observed latency, the worst tenant's
-observed release-time leakage in bits, the worst cross-tenant
-distinguisher advantage, and the audit verdict.  The expected shape:
+cycles of makespan), p50/p95/p99 client-observed latency (streamed
+through :class:`repro.telemetry.StreamingHistogram`, the same quantile
+machinery ``repro serve --profile`` uses), the worst tenant's observed
+release-time leakage in bits, the worst cross-tenant distinguisher
+advantage, and the audit verdict.  The expected shape:
 
 * every cell's audit holds (observed bits within the Theorem 2 bound --
   the handlers' language-level mitigation plus the release discipline do
@@ -20,50 +22,51 @@ distinguisher advantage, and the audit verdict.  The expected shape:
 * quantized throughput <= fifo throughput at equal load, and quantized
   latency >= fifo latency: the price of holding releases to the grid is
   idle boundary time, which is exactly Ford's TIFC trade-off.
+
+The sweep grid (policies, client counts, request count, quantum, seed,
+tenants) is the canonical one from :mod:`repro.telemetry.bench`, so the
+``BENCH_service.json`` this benchmark writes to the repo root agrees
+cell-for-cell with ``repro bench --suite service``.
 """
 
-from repro.service import WorkloadSpec, audit_service, serve_workload
+import time
+
+from repro.service import audit_service, serve_workload
 from repro.service.audit import service_document
+from repro.telemetry import StreamingHistogram
+from repro.telemetry.bench import (
+    SCHEMA as BENCH_SCHEMA,
+    SERVICE_CLIENT_COUNTS as CLIENT_COUNTS,
+    SERVICE_POLICIES as POLICIES,
+    SERVICE_QUANTUM as QUANTUM,
+    SERVICE_REQUESTS as REQUESTS,
+    SERVICE_SEED as SEED,
+    SERVICE_TENANTS as TENANTS,
+    service_case,
+    service_spec,
+)
 
-from _report import Report, write_metrics
-
-POLICIES = ("fifo", "rr", "quantized")
-CLIENT_COUNTS = (4, 12)
-REQUESTS = 80
-QUANTUM = 2048
-SEED = 2012
-
-TENANTS = [
-    {"name": "acme-login", "app": "login", "weight": 2.0,
-     "config": {"table_size": 8}},
-    {"name": "bank-passwords", "app": "password", "weight": 2.0,
-     "config": {"length": 6}},
-    {"name": "cdn-sbox", "app": "sbox", "weight": 1.0,
-     "config": {"length": 6}},
-]
-
-
-def _spec(policy: str, clients: int) -> WorkloadSpec:
-    return WorkloadSpec.from_dict({
-        "seed": SEED,
-        "requests": REQUESTS,
-        "policy": policy,
-        "quantum": QUANTUM,
-        "workers": 2,
-        "queue_depth": 8,
-        "arrival": {"kind": "closed", "clients": clients, "think": 512},
-        "tenants": TENANTS,
-    })
+from _report import Report, write_bench, write_metrics
 
 
 def _sweep():
+    """Measure every cell: (result, audit, wall seconds)."""
     cells = {}
     for policy in POLICIES:
         for clients in CLIENT_COUNTS:
-            result = serve_workload(_spec(policy, clients))
+            started = time.perf_counter_ns()
+            result = serve_workload(service_spec(policy, clients))
+            wall = (time.perf_counter_ns() - started) / 1e9
             audit = audit_service(result)
-            cells[(policy, clients)] = (result, audit)
+            cells[(policy, clients)] = (result, audit, wall)
     return cells
+
+
+def _latency_quantiles(result):
+    hist = StreamingHistogram()
+    for response in result.completed():
+        hist.observe(response.latency)
+    return hist.quantiles()
 
 
 def _build_report():
@@ -77,35 +80,30 @@ def _build_report():
     report.line()
 
     rows = []
-    for (policy, clients), (result, audit) in sorted(cells.items()):
-        latencies = sorted(
-            r.latency for r in result.completed()
-        )
-        p50 = latencies[len(latencies) // 2] if latencies else 0
-        p99 = latencies[min(len(latencies) - 1,
-                            int(len(latencies) * 0.99))] if latencies else 0
+    for (policy, clients), (result, audit, _wall) in sorted(cells.items()):
+        q = _latency_quantiles(result)
         cross = max(
             (p.probe.advantage for p in audit.cross_tenant), default=0.0
         )
         rows.append((
             policy, clients, len(result.completed()),
             f"{result.throughput_per_mcycle():.1f}",
-            p50, p99,
+            q["p50"], q["p95"], q["p99"],
             f"{audit.max_observed_bits():.3f}",
             f"{cross:+.3f}",
             "ok" if audit.ok else "VIOLATED",
         ))
     report.table(
         ("policy", "clients", "completed", "req/Mcycle", "p50 lat",
-         "p99 lat", "leaked bits", "cross adv", "audit"),
+         "p95 lat", "p99 lat", "leaked bits", "cross adv", "audit"),
         rows,
     )
 
-    all_ok = all(audit.ok for _, audit in cells.values())
+    all_ok = all(audit.ok for _, audit, _ in cells.values())
     report.expect(
         "every policy x load cell within the Theorem 2 bound",
         "all audits hold",
-        f"{sum(a.ok for _, a in cells.values())}/{len(cells)} ok",
+        f"{sum(a.ok for _, a, _ in cells.values())}/{len(cells)} ok",
         all_ok,
     )
     tifc_price = all(
@@ -122,6 +120,27 @@ def _build_report():
         tifc_price,
     )
 
+    # The perf-trajectory document: makespan cycles over host wall time
+    # per cell, gated by `repro bench --compare BENCH_service.json`.
+    bench_doc = {
+        "schema": BENCH_SCHEMA,
+        "kind": "service",
+        "config": {
+            "requests": REQUESTS,
+            "client_counts": list(CLIENT_COUNTS),
+            "policies": list(POLICIES),
+            "quantum": QUANTUM,
+            "seed": SEED,
+            "tenants": [t["name"] for t in TENANTS],
+        },
+        "entries": {
+            f"service/{policy}/c{clients}": service_case(result, audit, wall)
+            for (policy, clients), (result, audit, wall)
+            in sorted(cells.items())
+        },
+    }
+    bench_path = write_bench(bench_doc)
+
     # One full telemetry document for the heaviest quantized cell, so the
     # service section is inspectable with `repro report`.
     heavy = cells[("quantized", CLIENT_COUNTS[-1])]
@@ -131,6 +150,7 @@ def _build_report():
     report.line()
     report.line(f"Telemetry (quantized, {CLIENT_COUNTS[-1]} clients): "
                 f"{metrics_path}")
+    report.line(f"Perf trajectory: {bench_path}")
     report.emit()
     return all_ok and tifc_price
 

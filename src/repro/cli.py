@@ -66,6 +66,16 @@ report
 
         python -m repro report benchmarks/results/fig7_metrics.json
 
+bench
+    Run the perf-trajectory suites (docs/PROFILING.md) and write
+    ``BENCH_core.json`` / ``BENCH_service.json``; with ``--compare`` the
+    measured (or ``--current``) numbers are diffed against a committed
+    baseline::
+
+        python -m repro bench --suite core --compare BENCH_core.json
+
+    Exit 0 within tolerance, 1 on a perf regression, 2 on bad input.
+
 Programs use the concrete syntax of :mod:`repro.lang.parser`; the security
 lattice defaults to ``L <= H`` and ``--levels a,b,c`` builds a chain.
 """
@@ -102,11 +112,13 @@ from .semantics.mitigation import SCHEME_CHOICES, MitigationState, make_scheme
 from .telemetry import (
     DynamicLeakageMeter,
     EventJournal,
+    Profiler,
     RecordingTraceRecorder,
     ReportError,
     SpanRecorder,
     TeeRecorder,
     load_document,
+    prometheus_exposition,
     render_report,
     write_chrome_trace,
 )
@@ -409,6 +421,7 @@ def cmd_run(args) -> int:
         recorder = TeeRecorder(metrics_recorder, span_recorder)
     else:
         recorder = metrics_recorder or span_recorder
+    profiler = Profiler() if (args.profile or args.prom_out) else None
     mitigation = MitigationState(
         scheme=make_scheme(args.scheme), policy=args.penalty
     )
@@ -419,6 +432,7 @@ def cmd_run(args) -> int:
         mitigation=mitigation,
         max_steps=args.max_steps,
         recorder=recorder,
+        profiler=profiler,
     )
     print(f"time: {result.time} cycles ({result.steps} steps)")
     if result.events:
@@ -432,6 +446,14 @@ def cmd_run(args) -> int:
                   f"(level {record.level}, done at {record.end_time})")
     for name in sorted(compiled.gamma):
         print(f"final {name} = {result.memory.value_of(name)}")
+    if profiler is not None and args.profile:
+        print("profile:")
+        for line in profiler.summary_lines():
+            print(f"  {line}")
+    if profiler is not None and args.prom_out:
+        with open(args.prom_out, "w") as handle:
+            handle.write(prometheus_exposition(profiler.as_dict()))
+        print(f"prometheus exposition written to {args.prom_out}")
     if metrics_recorder is not None:
         if args.trace:
             print("telemetry:")
@@ -444,8 +466,12 @@ def cmd_run(args) -> int:
                 f"{'ok' if meter.holds() else 'VIOLATED'}"
             )
         if args.metrics_out:
-            metrics_recorder.registry.write(args.metrics_out,
-                                            leakage=meter.as_dict())
+            metrics_recorder.registry.write(
+                args.metrics_out,
+                leakage=meter.as_dict(),
+                profile=(profiler.as_dict() if profiler is not None
+                         else None),
+            )
             print(f"metrics written to {args.metrics_out}")
     if span_recorder is not None:
         if journal is not None:
@@ -510,9 +536,13 @@ def cmd_serve(args) -> int:
         span_recorder = SpanRecorder(
             journal=journal, keep_spans=bool(args.trace_out)
         )
-    result = Gateway(spec, recorder=span_recorder).serve()
+    profiler = Profiler() if (args.profile or args.prom_out) else None
+    result = Gateway(spec, recorder=span_recorder,
+                     profiler=profiler).serve()
     audit = audit_service(result)
     doc = service_document(result, audit)
+    if profiler is not None:
+        doc["profile"] = profiler.as_dict()
 
     to_stdout = args.metrics_out == "-"
     out = sys.stderr if to_stdout else sys.stdout
@@ -548,6 +578,14 @@ def cmd_serve(args) -> int:
         say("audit: OK (every tenant within its Theorem 2 bound)")
     else:
         say("audit: VIOLATED")
+    if profiler is not None and args.profile:
+        say("profile:")
+        for line in profiler.summary_lines():
+            say(f"  {line}")
+    if profiler is not None and args.prom_out:
+        with open(args.prom_out, "w") as handle:
+            handle.write(prometheus_exposition(profiler.as_dict()))
+        say(f"prometheus exposition written to {args.prom_out}")
 
     if args.metrics_out:
         text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
@@ -668,6 +706,101 @@ def cmd_report(args) -> int:
     for line in lines:
         print(line)
     return 0 if ok else 1
+
+
+def cmd_bench(args) -> int:
+    """`bench`: run the perf-trajectory suites / the regression gate.
+
+    Measures cycles-simulated-per-wall-second (docs/PROFILING.md) and
+    writes ``BENCH_core.json`` / ``BENCH_service.json`` under
+    ``--output-dir``.  With ``--compare BASELINE`` the fresh numbers (or
+    a pre-measured ``--current`` document) are diffed against the
+    baseline.  Exit 0 within tolerance, 1 on a regression (an entry's
+    rate dropped more than ``--tolerance``, or a baseline entry
+    disappeared), 2 on bad input.
+    """
+    from .telemetry.bench import (
+        BenchError,
+        compare_documents,
+        load_bench_document,
+        render_bench_lines,
+        render_comparison_lines,
+        run_core_bench,
+        run_service_bench,
+        write_bench_document,
+    )
+
+    if args.current and not args.compare:
+        print("repro bench: --current requires --compare", file=sys.stderr)
+        return 2
+
+    try:
+        if args.current:
+            # Gate-only mode: no measurement, diff two documents.
+            comparison = compare_documents(
+                load_bench_document(args.current),
+                load_bench_document(args.compare),
+                tolerance=args.tolerance,
+            )
+            for line in render_comparison_lines(comparison):
+                print(line)
+            return 0 if comparison["ok"] else 1
+
+        suites = ("core", "service") if args.suite == "all" \
+            else (args.suite,)
+        baseline = None
+        if args.compare:
+            # Validate the baseline before spending measurement time.
+            baseline = load_bench_document(args.compare)
+            if baseline.get("kind") not in suites:
+                raise BenchError(
+                    f"baseline {args.compare} is "
+                    f"kind={baseline.get('kind')!r} but that suite was "
+                    f"not selected (--suite {args.suite})"
+                )
+        docs = {}
+        out_dir = Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        if "core" in suites:
+            kwargs = dict(repeats=args.repeats)
+            if args.quick:
+                # Shrunken workloads finish in microseconds, where timer
+                # noise swamps the seam-overhead comparison -- skip it
+                # (full-size runs and bench_core_speed.py measure it).
+                kwargs.update(password_length=8, sbox_length=8,
+                              rsa_bits=8, rsa_blocks=1,
+                              gateway_requests=8, check_overhead=False)
+            docs["core"] = run_core_bench(**kwargs)
+        if "service" in suites:
+            docs["service"] = run_service_bench(
+                requests=args.requests if args.requests is not None
+                else (24 if args.quick else 80)
+            )
+        for kind, doc in docs.items():
+            path = write_bench_document(
+                str(out_dir / f"BENCH_{kind}.json"), doc
+            )
+            for line in render_bench_lines(doc):
+                print(line)
+            print(f"wrote {path}")
+            print()
+        overhead = docs.get("core", {}).get("overhead")
+        if overhead is not None and not overhead.get("ok", True):
+            print("repro bench: profiler-off seam overhead exceeded "
+                  f"{overhead.get('tolerance_pct')}% "
+                  f"(measured {overhead.get('overhead_pct')}%)",
+                  file=sys.stderr)
+            return 1
+        if baseline is not None:
+            comparison = compare_documents(docs[baseline["kind"]], baseline,
+                                           tolerance=args.tolerance)
+            for line in render_comparison_lines(comparison):
+                print(line)
+            return 0 if comparison["ok"] else 1
+        return 0
+    except BenchError as err:
+        print(f"repro bench: {err}", file=sys.stderr)
+        return 2
 
 
 def cmd_contract(args) -> int:
@@ -910,6 +1043,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default="local",
                    help="misprediction penalty policy: per-level counters "
                         "or one shared counter (default local)")
+    p.add_argument("--profile", action="store_true",
+                   help="attribute cycles/wall-time to subsystems and "
+                        "print the profile summary after the run")
+    p.add_argument("--prom-out", metavar="FILE", default=None,
+                   help="write the profile as Prometheus text exposition "
+                        "to FILE (implies profiling)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -938,6 +1077,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "run to FILE")
     p.add_argument("--journal-out", metavar="FILE", default=None,
                    help="stream handler-run events as JSONL to FILE")
+    p.add_argument("--profile", action="store_true",
+                   help="attribute cycles/wall-time to subsystems (incl. "
+                        "per-tenant latency and budget burn-down) and "
+                        "print the profile summary")
+    p.add_argument("--prom-out", metavar="FILE", default=None,
+                   help="write the profile as Prometheus text exposition "
+                        "to FILE (implies profiling)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("leakage", help="measure leakage over a secret range")
@@ -994,6 +1140,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="a metrics JSON (--metrics-out) or an event "
                         "journal (--journal-out)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure the perf trajectory (BENCH_*.json) and gate "
+             "regressions against a baseline",
+    )
+    p.add_argument("--suite", choices=("core", "service", "all"),
+                   default="all",
+                   help="which suite(s) to measure (default all)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timed repetitions per core entry; the minimum "
+                        "wall time wins (default 3)")
+    p.add_argument("--requests", type=int, default=None,
+                   help="service-suite request count (default 80, "
+                        "24 with --quick)")
+    p.add_argument("--quick", action="store_true",
+                   help="shrink workloads for a fast smoke run (numbers "
+                        "are NOT comparable to a full baseline)")
+    p.add_argument("--output-dir", metavar="DIR", default=".",
+                   help="where BENCH_*.json land (default: current "
+                        "directory; the repo root holds the committed "
+                        "baselines)")
+    p.add_argument("--compare", metavar="BASELINE", default=None,
+                   help="diff against this BENCH_*.json baseline; exit 1 "
+                        "when any entry regresses past --tolerance")
+    p.add_argument("--current", metavar="FILE", default=None,
+                   help="with --compare: diff this pre-measured document "
+                        "instead of re-measuring")
+    p.add_argument("--tolerance", type=float, default=0.20,
+                   help="relative cycles-per-second drop tolerated before "
+                        "an entry counts as regressed (default 0.20)")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -41,6 +41,7 @@ from ..lattice import Label
 from ..machine.layout import AccessTrace, DataAccess, Layout
 from ..machine.memory import Memory
 from ..hardware.interface import MachineEnvironment, StepKind
+from ..telemetry.profiling import Profiler, hardware_subsystem
 from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 from .core import EvaluationError, eval_expr_traced
 from .events import Event, MitigationRecord
@@ -122,6 +123,7 @@ class Interpreter:
     mitigate_pc: Mapping[str, Label] = field(default_factory=dict)
     max_steps: int = 10_000_000
     recorder: Optional[TraceRecorder] = None
+    profiler: Optional[Profiler] = None
 
     def __post_init__(self) -> None:
         if self.layout is None:
@@ -136,6 +138,12 @@ class Interpreter:
             # the mitigation runtime (Miss[l] transitions).
             self.environment.attach_recorder(self.recorder)
             self.mitigation.recorder = self.recorder
+        # The profiling seam resolves to None when off, so the per-step
+        # hot path pays one identity check and nothing else.
+        if self.profiler is not None and not self.profiler.active:
+            self.profiler = None
+        if self.profiler is not None:
+            self._hw_subsystem = hardware_subsystem(self.environment)
         self.time = 0
         self.steps = 0
         self.events: List[Event] = []
@@ -174,12 +182,15 @@ class Interpreter:
         taken: Optional[bool] = None,
     ) -> None:
         read_label, write_label = self._labels(cmd)
-        cost = self.environment.step(
-            kind,
-            self._trace(cmd, reads, writes, taken=taken),
-            read_label,
-            write_label,
-        )
+        trace = self._trace(cmd, reads, writes, taken=taken)
+        profiler = self.profiler
+        if profiler is None:
+            cost = self.environment.step(kind, trace, read_label, write_label)
+        else:
+            started = profiler.clock()
+            cost = self.environment.step(kind, trace, read_label, write_label)
+            profiler.add_wall(self._hw_subsystem, profiler.clock() - started)
+            profiler.add_cycles(self._hw_subsystem, cost, calls=1)
         self.time += cost
         if self.recorder.active:
             self.recorder.on_step(kind, cost, self.time)
@@ -206,6 +217,10 @@ class Interpreter:
             duration, _ = eval_expr_traced(cmd.duration, self.memory)
             self._labels(cmd)  # still insist the program is annotated
             self.time += max(duration, 0)
+            if self.profiler is not None:
+                self.profiler.add_cycles(
+                    "interpreter.sleep", max(duration, 0), calls=1
+                )
             if self.recorder.active:
                 self.recorder.on_sleep(max(duration, 0), self.time)
             return None
@@ -280,7 +295,18 @@ class Interpreter:
 
     def _finish_mitigation(self, frame: _MitFrame) -> None:
         elapsed = self.time - frame.start_time
-        total = self.mitigation.settle(frame.estimate, frame.level, elapsed)
+        profiler = self.profiler
+        if profiler is None:
+            total = self.mitigation.settle(frame.estimate, frame.level,
+                                           elapsed)
+        else:
+            started = profiler.clock()
+            total = self.mitigation.settle(frame.estimate, frame.level,
+                                           elapsed)
+            profiler.add_wall("mitigation.schedule",
+                              profiler.clock() - started, calls=1)
+            profiler.add_cycles("mitigation.padding", total - elapsed,
+                                calls=1)
         # Pad the block to exactly its (possibly just-inflated) prediction.
         self.time = frame.start_time + total
         self.records.append(
@@ -315,6 +341,13 @@ class Interpreter:
                 "hardware": type(self.environment).__name__,
                 "mitigation": self.mitigation.describe(),
             })
+        profiler = self.profiler
+        if profiler is not None:
+            nested_before = (
+                profiler.wall_ns.get(self._hw_subsystem, 0)
+                + profiler.wall_ns.get("mitigation.schedule", 0)
+            )
+            run_started = profiler.clock()
         current: Optional[ast.Command] = self.program
         while current is not None:
             if self.steps >= self.max_steps:
@@ -323,6 +356,19 @@ class Interpreter:
                 )
             current = self._step(current)
             self.steps += 1
+        if profiler is not None:
+            # Dispatch = the run loop's own wall-time, i.e. everything
+            # that is not the nested hardware/mitigation sections.  It
+            # gets zero cycles: dispatch never advances the clock, so
+            # the cycle counters still partition the final time.
+            run_wall = profiler.clock() - run_started
+            nested = (
+                profiler.wall_ns.get(self._hw_subsystem, 0)
+                + profiler.wall_ns.get("mitigation.schedule", 0)
+                - nested_before
+            )
+            profiler.add_wall("interpreter.dispatch",
+                              max(run_wall - nested, 0), calls=self.steps)
         # Mitigate vectors are ordered by completion time; records are
         # appended at completion so they already are, but make it explicit.
         self.records.sort(key=lambda r: r.end_time)
@@ -348,13 +394,17 @@ def execute(
     mitigate_pc: Mapping[str, Label] = None,
     max_steps: int = 10_000_000,
     recorder: Optional[TraceRecorder] = None,
+    profiler: Optional[Profiler] = None,
 ) -> ExecutionResult:
     """Run ``program`` from ``(memory, environment, G=0)`` to completion.
 
     ``memory`` and ``environment`` are mutated; pass copies to keep the
     originals.  ``recorder`` observes the run (see
     :mod:`repro.telemetry`); the default null recorder records nothing and
-    costs nothing.  See :class:`Interpreter` for the other parameters.
+    costs nothing.  ``profiler`` attributes cycles and wall-time to
+    subsystems (see :mod:`repro.telemetry.profiling`); inactive or absent
+    profilers cost one pointer check per step.  See :class:`Interpreter`
+    for the other parameters.
     """
     interp = Interpreter(
         program=program,
@@ -365,5 +415,6 @@ def execute(
         mitigate_pc=dict(mitigate_pc or {}),
         max_steps=max_steps,
         recorder=recorder,
+        profiler=profiler,
     )
     return interp.run()

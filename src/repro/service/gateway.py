@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..semantics.mitigation import MitigationState, make_scheme
 from ..telemetry.leakage import DynamicLeakageMeter
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.profiling import Profiler
 from ..telemetry.recorder import (
     RecordingTraceRecorder,
     TeeRecorder,
@@ -139,8 +140,14 @@ class Gateway:
     """One configured serving instance; :meth:`serve` runs the workload."""
 
     def __init__(self, spec: WorkloadSpec,
-                 recorder: Optional[TraceRecorder] = None):
+                 recorder: Optional[TraceRecorder] = None,
+                 profiler: Optional[Profiler] = None):
         self.spec = spec
+        # The profiling seam resolves to None when off (zero-overhead
+        # default, same discipline as the interpreter's).
+        self._profiler = (
+            profiler if profiler is not None and profiler.active else None
+        )
         self.handlers = spec.build_handlers()
         names = [t.name for t in spec.tenants]
         self.policy = make_policy(spec.policy, names, spec.quantum)
@@ -234,6 +241,15 @@ class Gateway:
             stats.observables.append(response.observable)
             stats.services.append(response.service)
             registry.observe("hist.service.observable", response.observable)
+            profiler = self._profiler
+            if profiler is not None:
+                profiler.observe_latency("gateway.latency", response.latency)
+                profiler.observe_latency(
+                    f"gateway.latency.{response.tenant}", response.latency
+                )
+                meter = self.meters[response.tenant]
+                profiler.burn(response.tenant, meter.observed_bits,
+                              meter.static_bound_bits())
         elif response.status == "rejected":
             stats.rejected += 1
         else:
@@ -252,12 +268,25 @@ class Gateway:
             self._tenant_recorders[request.tenant],
             self._extra_recorder,
         )
-        return handler.run(
+        profiler = self._profiler
+        if profiler is None:
+            return handler.run(
+                request.payload,
+                self.states[request.tenant],
+                recorder,
+                self.spec.hardware,
+            )
+        started = profiler.clock()
+        result = handler.run(
             request.payload,
             self.states[request.tenant],
             recorder,
             self.spec.hardware,
         )
+        profiler.add_wall("gateway.handlers", profiler.clock() - started,
+                          calls=1)
+        profiler.add_cycles("gateway.handlers", result.time)
+        return result
 
     def _dispatch(self, now: int) -> None:
         while self._idle and self._queued():
@@ -292,6 +321,10 @@ class Gateway:
     def serve(self) -> ServiceResult:
         """Run the whole workload to completion and return the result."""
         self._generator = LoadGenerator(self.spec, self.handlers)
+        profiler = self._profiler
+        if profiler is not None:
+            handlers_before = profiler.wall_ns.get("gateway.handlers", 0)
+            loop_started = profiler.clock()
         for request in self._generator.initial():
             self._push(request.arrival, _ARRIVAL, request)
         self._idle = list(range(self.spec.workers))
@@ -307,6 +340,16 @@ class Gateway:
             [self._clock] + [r.release for r in self._responses
                              if r.release is not None]
         )
+        if profiler is not None:
+            # The event loop's own wall-time: total serve time minus the
+            # nested handler runs.  Every pushed event was popped by the
+            # time the heap drains, so _seq counts processed events.
+            loop_wall = profiler.clock() - loop_started
+            handler_wall = (profiler.wall_ns.get("gateway.handlers", 0)
+                            - handlers_before)
+            profiler.add_wall("gateway.loop",
+                              max(loop_wall - handler_wall, 0),
+                              calls=self._seq)
         return ServiceResult(
             spec=self.spec,
             policy=self.policy,
@@ -323,7 +366,8 @@ class Gateway:
 
 
 def serve_workload(
-    spec_or_dict, recorder: Optional[TraceRecorder] = None
+    spec_or_dict, recorder: Optional[TraceRecorder] = None,
+    profiler: Optional[Profiler] = None,
 ) -> ServiceResult:
     """Convenience: build a gateway from a spec (or raw dict) and serve."""
     spec = (
@@ -331,4 +375,4 @@ def serve_workload(
         if isinstance(spec_or_dict, WorkloadSpec)
         else WorkloadSpec.from_dict(spec_or_dict)
     )
-    return Gateway(spec, recorder=recorder).serve()
+    return Gateway(spec, recorder=recorder, profiler=profiler).serve()

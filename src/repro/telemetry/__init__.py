@@ -21,6 +21,13 @@ On top of the raw stream sit the execution timelines
 :class:`EventJournal`), the Perfetto-loadable Chrome trace-event export
 (:mod:`repro.telemetry.export`), and the ``repro report`` audit renderer
 (:mod:`repro.telemetry.report`).
+
+The performance half lives in :mod:`repro.telemetry.profiling` (the
+zero-overhead-when-off :class:`Profiler` attributing simulated cycles and
+wall-time to subsystems, with streaming latency histograms and a
+Prometheus text exposition) and :mod:`repro.telemetry.bench` (the
+``BENCH_*.json`` perf-trajectory harness behind ``repro bench``; kept out
+of this package namespace because it imports the apps/service layers).
 """
 
 from .export import chrome_trace, write_chrome_trace
@@ -29,6 +36,14 @@ from .leakage import (
     LeakageBoundViolation,
 )
 from .metrics import SCHEMA, MetricsRegistry
+from .profiling import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA,
+    NullProfiler,
+    Profiler,
+    StreamingHistogram,
+    prometheus_exposition,
+)
 from .recorder import (
     NULL_RECORDER,
     NullRecorder,
@@ -50,18 +65,24 @@ __all__ = [
     "EventJournal",
     "LeakageBoundViolation",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_RECORDER",
+    "NullProfiler",
     "NullRecorder",
+    "PROFILE_SCHEMA",
+    "Profiler",
     "RecordingTraceRecorder",
     "ReportError",
     "SCHEMA",
     "Span",
     "SpanRecorder",
+    "StreamingHistogram",
     "TeeRecorder",
     "TraceRecorder",
     "chrome_trace",
     "load_document",
     "load_journal",
+    "prometheus_exposition",
     "render_report",
     "spans_from_journal",
     "write_chrome_trace",

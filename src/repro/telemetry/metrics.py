@@ -128,11 +128,13 @@ class MetricsRegistry:
 
     # -- export ---------------------------------------------------------------
 
-    def as_dict(self, leakage: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    def as_dict(self, leakage: Optional[Dict[str, Any]] = None,
+                profile: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """The JSON document (see ``docs/TELEMETRY.md`` for the schema).
 
         ``leakage`` is an optional pre-built section from a
-        :class:`~repro.telemetry.leakage.DynamicLeakageMeter`.
+        :class:`~repro.telemetry.leakage.DynamicLeakageMeter`;
+        ``profile`` one from :meth:`~repro.telemetry.profiling.Profiler.as_dict`.
         """
         doc: Dict[str, Any] = {
             "schema": SCHEMA,
@@ -183,18 +185,24 @@ class MetricsRegistry:
             doc["attacks"] = {k: attacks[k] for k in sorted(attacks)}
         if leakage is not None:
             doc["leakage"] = leakage
+        if profile is not None:
+            doc["profile"] = profile
         return doc
 
     def to_json(self, leakage: Optional[Dict[str, Any]] = None,
+                profile: Optional[Dict[str, Any]] = None,
                 indent: int = 2) -> str:
         """:meth:`as_dict` serialized as a JSON string."""
-        return json.dumps(self.as_dict(leakage=leakage), indent=indent)
+        return json.dumps(self.as_dict(leakage=leakage, profile=profile),
+                          indent=indent)
 
     def write(self, path: str,
-              leakage: Optional[Dict[str, Any]] = None) -> None:
+              leakage: Optional[Dict[str, Any]] = None,
+              profile: Optional[Dict[str, Any]] = None) -> None:
         """Write the JSON document to ``path``."""
         with open(path, "w") as handle:
-            handle.write(self.to_json(leakage=leakage) + "\n")
+            handle.write(self.to_json(leakage=leakage, profile=profile)
+                         + "\n")
 
     # -- display ---------------------------------------------------------------
 

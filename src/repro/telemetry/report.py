@@ -25,6 +25,7 @@ import json
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .metrics import SCHEMA
+from .profiling import render_profile_lines
 from .spans import CATEGORY_MITIGATE, CATEGORY_RUN, Span, spans_from_journal
 
 
@@ -52,6 +53,8 @@ def load_document(path: str) -> Dict[str, Any]:
             return {"schema": doc.get("schema", SCHEMA), "journal": [doc]}
         return doc
     records = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if not all(isinstance(r, dict) for r in records):
+        raise ReportError(f"{path}: journal records must be JSON objects")
     header = next((r for r in records if r.get("type") == "header"), {})
     return {"schema": header.get("schema", SCHEMA), "journal": records}
 
@@ -172,6 +175,12 @@ def _metrics_report(doc: Mapping[str, Any]) -> Tuple[List[str], bool]:
         service_lines, service_ok = _service_section(service)
         lines.extend(service_lines)
         ok = ok and service_ok
+
+    profile = doc.get("profile")
+    if profile:
+        lines.append("")
+        lines.append("profile (subsystem attribution):")
+        lines.extend(f"  {line}" for line in render_profile_lines(profile))
 
     lines.append("")
     leakage = doc.get("leakage")
@@ -344,13 +353,24 @@ def render_report(doc: Mapping[str, Any],
     if source:
         header += f" -- {source}"
     lines = [header, "=" * len(header)]
-    if "journal" in doc:
-        body, ok = _journal_report(doc["journal"])
-    elif "counters" in doc or "timing" in doc:
-        body, ok = _metrics_report(doc)
-    else:
+    try:
+        if "journal" in doc:
+            body, ok = _journal_report(doc["journal"])
+        elif "counters" in doc or "timing" in doc:
+            body, ok = _metrics_report(doc)
+        else:
+            raise ReportError(
+                "document is neither a repro.telemetry metrics JSON nor an "
+                "event journal"
+            )
+    except ReportError:
+        raise
+    except (AttributeError, TypeError, ValueError, KeyError,
+            IndexError) as err:
+        # A recognizable document with missing/truncated/mistyped
+        # sections must exit 2 at the CLI, not traceback.
         raise ReportError(
-            "document is neither a repro.telemetry metrics JSON nor an "
-            "event journal"
+            f"telemetry document is truncated or malformed: "
+            f"{type(err).__name__}: {err}"
         )
     return lines + body, ok

@@ -433,6 +433,94 @@ class TestReport:
         assert rc == 2
         assert "repro report:" in capsys.readouterr().err
 
+    def test_truncated_json_exits_two(self, metrics_doc, capsys):
+        # A document cut off mid-write (crashed producer, partial copy)
+        # must produce a diagnostic, not a traceback.
+        metrics_doc.write_text(metrics_doc.read_text()[:200])
+        capsys.readouterr()
+        rc = main(["report", str(metrics_doc)])
+        assert rc == 2
+        assert "repro report:" in capsys.readouterr().err
+
+    def test_document_missing_sections_exits_two(self, metrics_doc, capsys):
+        # Valid JSON whose expected sections were nulled or dropped used
+        # to traceback inside the renderer; it must exit 2 instead.
+        doc = json.loads(metrics_doc.read_text())
+        doc["timing"] = None
+        doc.pop("mitigation", None)
+        metrics_doc.write_text(json.dumps(doc))
+        capsys.readouterr()
+        rc = main(["report", str(metrics_doc)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "truncated or malformed" in err
+
+    def test_non_object_journal_record_exits_two(self, capsys, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(
+            '{"type": "header"}\n{"type": "span"}\n[1, 2, 3]\n'
+        )
+        rc = main(["report", str(journal)])
+        assert rc == 2
+        assert "JSON objects" in capsys.readouterr().err
+
+    def test_report_renders_profile_section(self, mitigated, tmp_path,
+                                            capsys):
+        metrics = tmp_path / "profiled.json"
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0",
+                   "--profile", "--metrics-out", str(metrics)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["report", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile (subsystem attribution):" in out
+        assert "hardware.partitioned" in out
+        assert "total attributed cycles:" in out
+
+
+class TestProfileFlags:
+    def test_run_profile_prints_summary(self, mitigated, capsys):
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "hardware.partitioned" in out
+        assert "total attributed cycles:" in out
+
+    def test_run_prom_out_writes_exposition(self, mitigated, tmp_path,
+                                            capsys):
+        prom = tmp_path / "metrics.prom"
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0",
+                   "--prom-out", str(prom)])
+        assert rc == 0
+        capsys.readouterr()
+        text = prom.read_text()
+        assert "# TYPE repro_profile_cycles_total counter" in text
+        assert 'subsystem="hardware.partitioned"' in text
+
+    def test_serve_profile_reports_tenant_burn_down(self, tmp_path, capsys):
+        spec = os.path.join(REPO_ROOT, "examples", "service", "basic.json")
+        prom = tmp_path / "serve.prom"
+        rc = main(["serve", "--spec", spec, "--requests", "12",
+                   "--profile", "--prom-out", str(prom)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "leakage-budget burn-down (bits):" in out
+        assert "latency gateway.latency" in out
+        text = prom.read_text()
+        assert "repro_profile_tenant_budget_bits" in text
+        assert 'kind="remaining"' in text
+
+    def test_run_without_profile_stays_quiet(self, mitigated, capsys):
+        rc = main(["run", mitigated, "--gamma", "h=H,ready=L",
+                   "--set", "h=9", "--set", "ready=0"])
+        assert rc == 0
+        assert "profile:" not in capsys.readouterr().out
+
 
 class TestContract:
     def test_partitioned_passes(self, capsys):
