@@ -19,6 +19,10 @@ it into a multi-pass *lint engine* that reports every finding in one run:
 * :mod:`.lints` -- timing-channel lints beyond the type system
   (secret-dependent sleeps, degenerate or redundant mitigations, and the
   dataflow-backed TL017-TL020);
+* :mod:`.cost` -- the static cycle-cost analyzer: interval bounds
+  ``[lo, hi]`` per command/region/mitigate under per-hardware cost
+  contracts, the TL021-TL025 inputs, and the profiler soundness
+  cross-check behind ``repro cost``;
 * :mod:`.audit` -- the static Theorem 2 leakage audit per mitigate site,
   with reachability-tightened vs. syntactic bounds;
 * :mod:`.render` -- human text (with carets), JSON, and SARIF 2.1.0
@@ -27,6 +31,7 @@ it into a multi-pass *lint engine* that reports every finding in one run:
 """
 
 from .audit import LeakageAudit, MitigateSite, audit_leakage
+from .cost import CostReport, check_corpus, compute_cost, replay_program
 from .cfg import CFG, build_cfg, cfg_to_dot, reachable_commands
 from .collector import CollectingTypeChecker, collect_typing_diagnostics
 from .dataflow import (
@@ -49,6 +54,7 @@ from .rules import RULES, Rule
 
 __all__ = [
     "CFG",
+    "CostReport",
     "CollectingTypeChecker",
     "ConstantPropagation",
     "Diagnostic",
@@ -71,11 +77,14 @@ __all__ = [
     "build_cfg",
     "build_tdg",
     "cfg_to_dot",
+    "check_corpus",
     "collect_typing_diagnostics",
+    "compute_cost",
     "reachable_commands",
     "render_json",
     "render_sarif",
     "render_text",
+    "replay_program",
     "solve",
     "tdg_to_dot",
 ]

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
+from ..hardware.costmodel import Interval
 from ..lang import ast
 from ..lattice import Label, Lattice
 from ..quantitative.bounds import leakage_bound
@@ -44,14 +45,19 @@ class MitigateSite:
     contribution_bits: float
     #: False when constant-pruned control flow proves the site never runs.
     reachable: bool = True
+    #: Static unpadded cycle bounds for the site's body (the `null`
+    #: contract's exact facts), when the cost analysis saw the site run.
+    static_cost: Optional[Interval] = None
 
     def describe(self) -> str:
         where = "" if self.span.is_synthetic else f" at {self.span}"
         head = (f"mitigate {self.mit_id}{where}: pc={self.pc} "
                 f"level={self.level}")
+        cost = "" if self.static_cost is None else f"  cost={self.static_cost}"
         if self.relevant:
-            return f"{head}  relevant  +{self.contribution_bits:.2f} bits"
-        return f"{head}  not relevant ({self.reason})"
+            return (f"{head}  relevant  +{self.contribution_bits:.2f} "
+                    f"bits{cost}")
+        return f"{head}  not relevant ({self.reason}){cost}"
 
 
 @dataclass(frozen=True)
@@ -128,6 +134,10 @@ class LeakageAudit:
                     "reachable": site.reachable,
                     "reason": site.reason,
                     "contribution_bits": site.contribution_bits,
+                    "static_cost": (
+                        None if site.static_cost is None
+                        else [site.static_cost.lo, site.static_cost.hi]
+                    ),
                 }
                 for site in self.sites
             ],
@@ -158,6 +168,7 @@ def audit_leakage(
     adversary: Optional[Label] = None,
     horizon: int = DEFAULT_HORIZON,
     reachable: Optional[FrozenSet[int]] = None,
+    cost: Optional[object] = None,
 ) -> LeakageAudit:
     """Account every mitigate site against the Theorem 2 bound.
 
@@ -173,6 +184,10 @@ def audit_leakage(
     ``K`` count nor the ``L^`` closure.  The headline ``bound_bits`` is the
     reachable bound; the syntactic numbers a text-only audit would have
     reported are kept alongside so the delta is visible.
+
+    ``cost`` (a :class:`repro.analysis.cost.CostReport`) adds a static
+    unpadded-cycle column per site, so the audit shows both what each
+    mitigate *leaks* (bits) and what it must *cover* (cycles).
     """
     adversary = adversary if adversary is not None else lattice.bottom
     relevant_levels: List[Label] = []
@@ -210,6 +225,7 @@ def audit_leakage(
     )
     sites: List[MitigateSite] = []
     index = 0
+    cost_sites = getattr(cost, "mitigates", {}) if cost is not None else {}
     for cmd, pc, relevant, reason, is_reachable in raw:
         contribution = 0.0
         if relevant:
@@ -220,6 +236,7 @@ def audit_leakage(
                 lattice, without, adversary, horizon
             )
             index += 1
+        cost_site = cost_sites.get(cmd.mit_id)
         sites.append(MitigateSite(
             mit_id=cmd.mit_id,
             span=cmd.span,
@@ -230,6 +247,7 @@ def audit_leakage(
             reason=reason,
             contribution_bits=contribution,
             reachable=is_reachable,
+            static_cost=None if cost_site is None else cost_site.interval,
         ))
     return LeakageAudit(
         adversary=adversary,

@@ -304,8 +304,15 @@ def reachable_commands(
 # -- DOT export ----------------------------------------------------------------
 
 
-def cfg_to_dot(cfg: CFG, title: str = "cfg") -> str:
-    """Render the CFG in Graphviz DOT syntax."""
+def cfg_to_dot(cfg: CFG, title: str = "cfg", costs=None) -> str:
+    """Render the CFG in Graphviz DOT syntax.
+
+    ``costs`` (a :class:`repro.analysis.cost.CostReport`) annotates each
+    block with the sum of its commands' static cycle intervals on that
+    report's hardware model (``repro flow --dot cfg --costs MODEL``).
+    """
+    if costs is not None:
+        title = f"{title}_{costs.hardware}"
     lines = [f"digraph {title} {{", "  node [shape=box, fontname=monospace];"]
     for bid in sorted(cfg.blocks):
         block = cfg.blocks[bid]
@@ -317,6 +324,17 @@ def cfg_to_dot(cfg: CFG, title: str = "cfg") -> str:
             text = block.label()
             if not block.span.is_synthetic:
                 text = f"B{bid} @ {block.span}\\n{text}"
+            if costs is not None:
+                intervals = [
+                    costs.per_command[cmd.node_id]
+                    for cmd in block.commands
+                    if cmd.node_id in costs.per_command
+                ]
+                if intervals:
+                    total = intervals[0]
+                    for interval in intervals[1:]:
+                        total = total + interval
+                    text = f"{text}\\ncost {total}"
         lines.append(f'  b{bid} [label="{text}"];')
     for edge in cfg.edges:
         style = ""

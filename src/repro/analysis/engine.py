@@ -22,6 +22,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..hardware.costmodel import CacheGeometry, contract_for
 from ..lang import ast
 from ..lang.lexer import LexError
 from ..lang.parser import DEFAULT_LATTICE, ParseError, parse
@@ -38,6 +39,7 @@ from .collector import (
 )
 from .dataflow import ConstantPropagation, solve
 from .diagnostics import Diagnostic, Severity
+from .cost import CostReport, compute_cost
 from .flows import (
     FlowExplainer,
     TimingDependenceGraph,
@@ -69,6 +71,10 @@ class LintOptions:
     horizon: int = DEFAULT_HORIZON
     #: Attach source->sink flow paths to flow-shaped diagnostics.
     explain: bool = False
+    #: Keep only these rule codes (None keeps everything).
+    select: Optional[frozenset] = None
+    #: Drop these rule codes (applied after ``select``).
+    ignore: frozenset = frozenset()
 
 
 @dataclass
@@ -85,6 +91,8 @@ class LintResult:
     typing: Optional[TypingInfo] = None
     cfg: Optional[CFG] = None
     tdg: Optional[TimingDependenceGraph] = None
+    #: Static cost report on the exact ``null`` contract (lint facts).
+    cost: Optional[CostReport] = None
 
     @property
     def fatal(self) -> bool:
@@ -274,16 +282,34 @@ def _analyze(
     reachable = reachable_commands(cfg, constants)
     tdg = build_tdg(program, tolerant)
 
+    # Static cost facts for the TL021-TL025 family: the exact `null`
+    # contract keeps the lint comparisons deterministic; the set-straddle
+    # check falls back to the paper machine's L1-data geometry because
+    # the null model has no caches of its own.
+    contract = contract_for("null")
+    cost = compute_cost(program, contract=contract)
+    geometry = contract.geometry()
+    if geometry is None:
+        geometry = CacheGeometry.of(contract.params.l1_data)
+
     if options.lints:
         ctx = LintContext(
             program=program, gamma=tolerant, lattice=lattice, typing=info,
             cfg=cfg, constants=constants, reachable=reachable, tdg=tdg,
+            cost=cost, geometry=geometry,
         )
         diagnostics.extend(run_lints(ctx))
 
     if options.explain:
         explainer = FlowExplainer(program, tolerant, tdg, cfg)
         attach_flows(diagnostics, explainer)
+
+    if options.select is not None:
+        diagnostics = [d for d in diagnostics if d.code in options.select]
+    if options.ignore:
+        diagnostics = [
+            d for d in diagnostics if d.code not in options.ignore
+        ]
 
     for diag in diagnostics:
         diag.path = path
@@ -294,11 +320,11 @@ def _analyze(
         audit = audit_leakage(
             program, lattice, info,
             adversary=adversary, horizon=options.horizon,
-            reachable=reachable,
+            reachable=reachable, cost=cost,
         )
 
     return LintResult(
         path=path, source=source, diagnostics=diagnostics,
         audit=audit, program=program, gamma=tolerant,
-        lattice=lattice, typing=info, cfg=cfg, tdg=tdg,
+        lattice=lattice, typing=info, cfg=cfg, tdg=tdg, cost=cost,
     )

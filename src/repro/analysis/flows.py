@@ -284,7 +284,8 @@ def build_tdg(
 # -- flow-path explanations ----------------------------------------------------
 
 #: Rules `repro lint --explain` can derive a source->sink path for.
-EXPLAINABLE = ("TL001", "TL002", "TL003", "TL006", "TL010", "TL013")
+EXPLAINABLE = ("TL001", "TL002", "TL003", "TL006", "TL010", "TL013",
+               "TL021", "TL024")
 
 _MAX_CHAIN = 16
 
@@ -552,6 +553,54 @@ class FlowExplainer:
                     cmd.node_id,
                 ))
                 return chain
+        return None
+
+    def _explain_tl021(self, cmd) -> Optional[List[FlowStep]]:
+        if not isinstance(cmd, ast.If):
+            return None
+        for name in sorted(cmd.cond.variables()):
+            chain = self._value_chain(
+                name, cmd.node_id, self.lattice.bottom, frozenset()
+            )
+            if chain is not None:
+                chain.append(self._sink_step(
+                    f"the guard reads {name!r} and the arms' static cycle "
+                    "costs are disjoint: the elapsed time announces which "
+                    "arm ran -- the flagged sink",
+                    cmd.node_id,
+                ))
+                return chain
+        return None
+
+    def _explain_tl024(self, cmd) -> Optional[List[FlowStep]]:
+        if not isinstance(cmd, ast.While):
+            return None
+        # The secret sits in the *controlling* guards, not the (public)
+        # loop guard: chase any secret variable that decides whether the
+        # unbounded loop runs at all.
+        for guard in self.tdg.guards_of.get(cmd.node_id, ()):
+            if guard.node_id == cmd.node_id:
+                continue
+            guard_vars = guard.cond.variables() if isinstance(
+                guard, (ast.If, ast.While)) else frozenset()
+            for name in sorted(guard_vars):
+                chain = self._value_chain(
+                    name, guard.node_id, self.lattice.bottom, frozenset()
+                )
+                if chain is not None:
+                    chain.append(self._step(
+                        "branch",
+                        f"branching on {name!r} decides whether this "
+                        "unbounded (⊤-cost) loop executes",
+                        guard.node_id,
+                    ))
+                    chain.append(self._sink_step(
+                        "the loop's cycle cost has no finite static bound: "
+                        "running it or not shifts the clock by an "
+                        "unbounded amount -- the flagged sink",
+                        cmd.node_id,
+                    ))
+                    return chain
         return None
 
 

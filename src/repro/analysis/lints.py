@@ -13,13 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+from ..hardware.costmodel import CacheGeometry
 from ..lang import ast
 from ..lang.pretty import pretty, pretty_expr
 from ..lattice import Lattice
+from ..machine.layout import WORD_BYTES
 from ..semantics.core import _apply as _apply_binop
 from ..typesystem.environment import SecurityEnvironment
 from ..typesystem.typing import TypingInfo
 from .cfg import CFG
+from .cost import CostReport
 from .diagnostics import Diagnostic
 from .flows import TimingDependenceGraph
 from .rules import RULES
@@ -46,6 +49,12 @@ class LintContext:
     reachable: Optional[FrozenSet[int]] = field(default=None)
     #: Timing-dependence graph (:mod:`repro.analysis.flows`).
     tdg: Optional[TimingDependenceGraph] = field(default=None)
+    #: Static cost report (:mod:`repro.analysis.cost`), computed on the
+    #: exact ``null`` contract so the TL021-TL024 comparisons are
+    #: deterministic point facts rather than model-dependent envelopes.
+    cost: Optional[CostReport] = field(default=None)
+    #: L1-data geometry for the TL025 set-straddle check.
+    geometry: Optional[CacheGeometry] = field(default=None)
 
 
 def _diag(code: str, message: str, cmd: ast.LabeledCommand,
@@ -390,6 +399,244 @@ def lint_unreachable_mitigate(ctx: LintContext) -> Iterator[Diagnostic]:
         )
 
 
+# -- TL021: unbalanced secret branch (cost-backed) -----------------------------
+
+
+def lint_unbalanced_secret_branch(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.cost is None:
+        return
+    bottom = ctx.lattice.bottom
+
+    def walk(cmd: ast.Command, absorbing: Tuple) -> Iterator[Diagnostic]:
+        if isinstance(cmd, ast.If):
+            site = ctx.cost.branches.get(cmd.node_id)
+            label = ctx.gamma.label_of_expr(cmd.cond)
+            if (site is not None and label != bottom
+                    and not any(label.flows_to(lv) for lv in absorbing)
+                    and site.then_interval.disjoint_from(
+                        site.else_interval)):
+                delta = site.then_interval.gap(site.else_interval)
+                yield _diag(
+                    "TL021",
+                    f"branch guard {pretty_expr(cmd.cond)!r} is at {label} "
+                    f"and the arms' static cycle costs are disjoint (then "
+                    f"{site.then_interval}, else {site.else_interval}, at "
+                    f"least {delta} cycle{'s' if delta != 1 else ''} "
+                    "apart): the arm taken is readable off the clock; "
+                    "balance the arms or wrap the branch in a mitigate at "
+                    "the guard's level",
+                    cmd,
+                )
+        if isinstance(cmd, ast.Mitigate):
+            absorbing = absorbing + (cmd.level,)
+        for sub in cmd.subcommands():
+            yield from walk(sub, absorbing)
+
+    yield from walk(ctx.program, ())
+
+
+# -- TL022/TL023: mitigate quantum vs. static body cost ------------------------
+
+
+def _rebudgeted(cmd: ast.Mitigate, budget: int) -> ast.Mitigate:
+    return ast.Mitigate(
+        budget=ast.IntLit(budget), level=cmd.level, body=cmd.body,
+        mit_id=None if cmd.auto_id else cmd.mit_id,
+        read_label=cmd.read_label, write_label=cmd.write_label,
+    )
+
+
+def lint_mitigate_quantum_insufficient(
+    ctx: LintContext,
+) -> Iterator[Diagnostic]:
+    if ctx.cost is None:
+        return
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.Mitigate):
+            continue
+        site = ctx.cost.mitigates.get(cmd.mit_id)
+        if site is None or site.budget is None or site.budget <= 0:
+            continue  # non-constant budgets; <= 0 is TL011's territory
+        prediction = site.initial_prediction
+        if site.interval.lo <= prediction:
+            continue
+        yield _diag(
+            "TL022",
+            f"mitigate body statically costs {site.interval} cycles but "
+            f"the scheme's initial prediction is {prediction}: the first "
+            "epoch always misses its deadline and doubles, spending one "
+            "Miss transition of the Theorem 2 budget by construction "
+            "(raise the budget to at least the body's lower bound "
+            f"{site.interval.lo})",
+            cmd,
+            fix=pretty(_rebudgeted(cmd, site.interval.lo)),
+        )
+
+
+def lint_overprovisioned_mitigate(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.cost is None:
+        return
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.Mitigate):
+            continue
+        site = ctx.cost.mitigates.get(cmd.mit_id)
+        if site is None or site.budget is None or site.budget <= 0:
+            continue
+        hi = site.interval.hi
+        if hi is None or hi <= 0:
+            continue
+        prediction = site.initial_prediction
+        if prediction < 4 * hi:
+            continue
+        yield _diag(
+            "TL023",
+            f"mitigate budget {site.budget} is {prediction // hi}x the "
+            f"body's static worst case {site.interval}: every epoch pads "
+            f"to {prediction} cycles regardless of need, buying pure "
+            "latency instead of fewer Miss transitions (a budget near "
+            f"the upper bound {hi} gives the same Theorem 2 bound with "
+            "far less padding)",
+            cmd,
+            fix=pretty(_rebudgeted(cmd, hi)),
+        )
+
+
+# -- TL024: unbounded loop cost under a secret context -------------------------
+
+
+def lint_unbounded_secret_loop_cost(
+    ctx: LintContext,
+) -> Iterator[Diagnostic]:
+    if ctx.cost is None:
+        return
+    bottom = ctx.lattice.bottom
+    join = ctx.lattice.join
+
+    def walk(cmd: ast.Command, pc) -> Iterator[Diagnostic]:
+        if isinstance(cmd, ast.While):
+            guard_label = ctx.gamma.label_of_expr(cmd.cond)
+            loop = ctx.cost.loops.get(cmd.node_id)
+            if (loop is not None and loop.widened
+                    and pc != bottom and guard_label == bottom):
+                yield _diag(
+                    "TL024",
+                    f"this loop's static cycle cost is {loop.interval} "
+                    f"(no finite bound) and it runs under a {pc} control "
+                    "context: whether the unbounded region executes at "
+                    "all is secret, so the timing variation it induces "
+                    "is unbounded in the secret (the guard itself is "
+                    "public, so TL013 cannot see this)",
+                    cmd,
+                )
+            yield from walk(cmd.body, join(pc, guard_label))
+        elif isinstance(cmd, ast.If):
+            inner = join(pc, ctx.gamma.label_of_expr(cmd.cond))
+            yield from walk(cmd.then_branch, inner)
+            yield from walk(cmd.else_branch, inner)
+        else:
+            for sub in cmd.subcommands():
+                yield from walk(sub, pc)
+
+    yield from walk(ctx.program, bottom)
+
+
+# -- TL025: cost-divergent secret array access ---------------------------------
+
+
+def _index_interval(expr: ast.Expr) -> Optional[Tuple[int, int]]:
+    """Element-index bounds ``(lo, hi)``, or None when unbounded.
+
+    Recognizes the masking idioms that bound an index without making it
+    constant: ``e & mask`` and ``e % k``.
+    """
+    value = const_value(expr)
+    if value is not None:
+        return (value, value)
+    if isinstance(expr, ast.BinOp) and expr.op == "&":
+        mask = const_value(expr.right)
+        if mask is None:
+            mask = const_value(expr.left)
+        if mask is not None and mask >= 0:
+            return (0, mask)
+    if isinstance(expr, ast.BinOp) and expr.op == "%":
+        mod = const_value(expr.right)
+        if mod:
+            bound = abs(mod) - 1
+            return (-bound, bound)
+    return None
+
+
+def _array_accesses(cmd: ast.LabeledCommand):
+    """Yield ``(array, index_expr)`` for every data array access in one
+    command, in evaluation order."""
+    if isinstance(cmd, ast.Assign):
+        exprs = (cmd.expr,)
+    elif isinstance(cmd, ast.ArrayAssign):
+        yield (cmd.array, cmd.index)
+        exprs = (cmd.index, cmd.expr)
+    elif isinstance(cmd, (ast.If, ast.While)):
+        exprs = (cmd.cond,)
+    elif isinstance(cmd, ast.Sleep):
+        exprs = (cmd.duration,)
+    elif isinstance(cmd, ast.Mitigate):
+        exprs = (cmd.budget,)
+    else:
+        exprs = ()
+    stack = list(exprs)
+    while stack:
+        expr = stack.pop()
+        if isinstance(expr, ast.ArrayRead):
+            yield (expr.array, expr.index)
+        stack.extend(expr.children())
+
+
+def lint_cost_divergent_array_access(
+    ctx: LintContext,
+) -> Iterator[Diagnostic]:
+    if ctx.geometry is None or ctx.geometry.sets <= 1:
+        return
+    bottom = ctx.lattice.bottom
+    per_block = max(ctx.geometry.block_bytes // WORD_BYTES, 1)
+    seen = set()
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.LabeledCommand):
+            continue
+        for array, index in _array_accesses(cmd):
+            label = ctx.gamma.label_of_expr(index)
+            if label == bottom:
+                continue
+            bounds = _index_interval(index)
+            if bounds is not None:
+                width = bounds[1] - bounds[0] + 1
+                if width <= per_block:
+                    # May sit inside a single cache block: one set, one
+                    # hit/miss cost, nothing for the clock to resolve.
+                    continue
+                blocks = -(-width // per_block)
+                detail = (
+                    f"its index range [{bounds[0]}, {bounds[1]}] spans up "
+                    f"to {min(blocks, ctx.geometry.sets)} cache sets"
+                )
+            else:
+                detail = (
+                    "its index is statically unbounded, reaching "
+                    "arbitrarily many cache sets"
+                )
+            key = (cmd.node_id, array)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield _diag(
+                "TL025",
+                f"array {array!r} is indexed by {label}-level expression "
+                f"{pretty_expr(index)!r} and {detail} "
+                f"({ctx.geometry.sets} sets of {ctx.geometry.block_bytes}"
+                "-byte blocks): which set the access touches, and so its "
+                "hit/miss timing, is a function of the secret",
+                cmd,
+            )
+
+
 #: Every AST lint pass, in catalog order.
 LINT_PASSES: Tuple[Callable[[LintContext], Iterator[Diagnostic]], ...] = (
     lint_secret_sleep,
@@ -403,6 +650,11 @@ LINT_PASSES: Tuple[Callable[[LintContext], Iterator[Diagnostic]], ...] = (
     lint_constant_secret_branch,
     lint_shadowed_mitigate,
     lint_unreachable_mitigate,
+    lint_unbalanced_secret_branch,
+    lint_mitigate_quantum_insufficient,
+    lint_overprovisioned_mitigate,
+    lint_unbounded_secret_loop_cost,
+    lint_cost_divergent_array_access,
 )
 
 

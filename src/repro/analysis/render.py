@@ -15,16 +15,18 @@ from typing import Dict, List, Optional, Sequence
 
 from .audit import LeakageAudit
 from .diagnostics import Diagnostic, FlowStep
-from .rules import RULES
+from .rules import RULE_HELP_BASE, RULES
+
+__all__ = [
+    "RULE_HELP_BASE",  # re-exported for back-compat; lives in rules.py now
+    "SARIF_SCHEMA", "SARIF_VERSION",
+    "dump", "render_json", "render_sarif", "render_text",
+]
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
     "Schemata/sarif-schema-2.1.0.json"
-)
-#: Base URL for per-rule ``helpUri`` anchors in the catalog doc.
-RULE_HELP_BASE = (
-    "https://github.com/example/repro/blob/main/docs/ANALYSIS.md"
 )
 
 
@@ -179,14 +181,10 @@ def render_sarif(diagnostics: Sequence[Diagnostic]) -> dict:
             "id": rule.code,
             "name": rule.name,
             "shortDescription": {"text": rule.summary},
-            "fullDescription": {
-                "text": f"{rule.summary} Paper reference: "
-                        f"{rule.paper_ref}.",
-            },
-            "helpUri": f"{RULE_HELP_BASE}#{rule.code.lower()}-{rule.name}",
-            "help": {"text": f"Paper reference: {rule.paper_ref}. "
-                             "See docs/ANALYSIS.md for the catalog."},
-            "defaultConfiguration": {"level": rule.severity.sarif_level},
+            "fullDescription": {"text": rule.full_description},
+            "helpUri": rule.help_uri,
+            "help": {"text": rule.help_text},
+            "defaultConfiguration": {"level": rule.sarif_level},
         }
         for rule in RULES.values()
     ]

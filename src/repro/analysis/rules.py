@@ -14,6 +14,12 @@ from typing import Dict
 
 from .diagnostics import Severity
 
+#: Base URL of the rendered rule catalog; SARIF ``helpUri`` values are
+#: anchors into it.  This is the *single source* -- every renderer
+#: (SARIF, ``--list-rules``, docs tooling) derives per-rule URIs from
+#: :attr:`Rule.help_uri` rather than rebuilding them.
+RULE_HELP_BASE = "https://github.com/example/repro/blob/main/docs/ANALYSIS.md"
+
 
 @dataclass(frozen=True)
 class Rule:
@@ -24,6 +30,29 @@ class Rule:
     summary: str
     severity: Severity
     paper_ref: str
+
+    @property
+    def help_uri(self) -> str:
+        """The docs/ANALYSIS.md catalog anchor for this rule."""
+        return f"{RULE_HELP_BASE}#{self.code.lower()}-{self.name}"
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF ``defaultConfiguration.level`` for this rule."""
+        return self.severity.sarif_level
+
+    @property
+    def full_description(self) -> str:
+        """The SARIF ``fullDescription`` text."""
+        return f"{self.summary} Paper reference: {self.paper_ref}."
+
+    @property
+    def help_text(self) -> str:
+        """The SARIF ``help`` text."""
+        return (
+            f"Paper reference: {self.paper_ref}. "
+            "See docs/ANALYSIS.md for the catalog."
+        )
 
 
 _RULES = (
@@ -108,10 +137,37 @@ _RULES = (
          "non-terminating loop); it can never pad, yet a syntactic audit "
          "would still count it toward K.",
          Severity.WARNING, "Sec. 7, Theorem 2 (dataflow-backed)"),
+    Rule("TL021", "unbalanced-secret-branch",
+         "A branch on confidential data has arms whose static cycle-cost "
+         "intervals are disjoint: the arm taken is readable off the clock.",
+         Severity.WARNING, "Sec. 2.1 (cost-backed)"),
+    Rule("TL022", "mitigate-quantum-insufficient",
+         "A mitigate body's static cycle cost always exceeds the scheme's "
+         "initial prediction: the first epoch is guaranteed to miss and "
+         "double, leaking one Miss transition by construction.",
+         Severity.WARNING, "Sec. 6.2 (fast doubling, cost-backed)"),
+    Rule("TL023", "overprovisioned-mitigate",
+         "A mitigate budget is at least 4x the body's static worst-case "
+         "cycle cost: every epoch pads to a quantum far beyond need, "
+         "buying latency instead of fewer Miss transitions.",
+         Severity.INFO, "Sec. 6.2 (prediction quantum, cost-backed)"),
+    Rule("TL024", "unbounded-secret-loop-cost",
+         "A loop whose static cycle cost is unbounded (⊤) executes under "
+         "a confidential guard: whether the unbounded region runs at all "
+         "is secret, so timing variation is unbounded too.",
+         Severity.WARNING, "Sec. 2.1 / Sec. 5.1, T-WHILE (cost-backed)"),
+    Rule("TL025", "cost-divergent-array-access",
+         "A confidential array index can select addresses in different "
+         "cache sets: the hit/miss cost interval straddles a set boundary, "
+         "so the index imprints on observable access timing.",
+         Severity.WARNING, "Sec. 2.1 (data-cache example, cost-backed)"),
 )
 
 #: Rule code -> :class:`Rule`, in catalog order.
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULES}
+
+#: The cost-backed family (static cycle-cost analyzer, `repro cost`).
+COST_RULE_CODES = ("TL021", "TL022", "TL023", "TL024", "TL025")
 
 #: ``TypingError.kind`` -> rule code, for the single-code kinds.  The
 #: ``"flow"`` kind is decomposed per failing source by the collector.

@@ -259,6 +259,40 @@ def _check_all(args) -> int:
     return 0
 
 
+def _list_rules() -> int:
+    """`lint --list-rules`: dump the whole catalog from the registry."""
+    from .analysis.rules import KIND_CODES, RULES
+
+    kind_of = {code: kind for kind, code in KIND_CODES.items()}
+    for rule in RULES.values():
+        line = (f"{rule.code}  {rule.severity.value:<7}  "
+                f"{rule.name:<28}  {rule.summary}")
+        print(line)
+        if rule.code in kind_of:
+            print(f"{'':40}(typing kind: {kind_of[rule.code]!r})")
+    print(f"{len(RULES)} rules; catalog: docs/ANALYSIS.md")
+    return 0
+
+
+def _parse_codes(spec: Optional[str], flag: str) -> Optional[frozenset]:
+    """Validate a ``--select``/``--ignore`` CODE[,CODE...] list."""
+    from .analysis.rules import RULES
+
+    if spec is None:
+        return None
+    codes = frozenset(
+        code.strip().upper()
+        for code in spec.split(",") if code.strip()
+    )
+    unknown = sorted(codes - set(RULES))
+    if unknown:
+        raise SystemExit(
+            f"repro lint: {flag}: unknown rule code(s) "
+            f"{', '.join(unknown)} (see `repro lint --list-rules`)"
+        )
+    return codes
+
+
 def cmd_lint(args) -> int:
     """`lint`: the multi-error static-analysis engine over >= 1 programs.
 
@@ -270,6 +304,13 @@ def cmd_lint(args) -> int:
         DirectiveError, LintOptions, analyze_source,
     )
     from .analysis.render import dump
+
+    if args.list_rules:
+        return _list_rules()
+    if not args.programs:
+        print("repro lint: no programs given "
+              "(or use --list-rules for the catalog)", file=sys.stderr)
+        return 2
 
     # Tri-state inference: --infer forces it on (even past a file's
     # '// infer: off' directive), --no-infer forces it off, and neither
@@ -284,6 +325,8 @@ def cmd_lint(args) -> int:
         audit=True,
         horizon=args.horizon,
         explain=args.explain,
+        select=_parse_codes(args.select, "--select"),
+        ignore=_parse_codes(args.ignore, "--ignore") or frozenset(),
     )
     results = []
     bad_input = False
@@ -335,9 +378,12 @@ def cmd_flow(args) -> int:
     ``--dot cfg`` renders the control-flow graph (blocks, branch/loop/
     mitigate edges); ``--dot tdg`` renders the timing-dependence graph
     (variables with their Gamma levels, value edges, timing taint).
-    Exit codes: 0 rendered, 2 bad input.
+    ``--costs MODEL`` annotates CFG nodes with their static cycle
+    interval on that hardware model.  Exit codes: 0 rendered, 2 bad
+    input.
     """
     from .analysis.cfg import cfg_to_dot
+    from .analysis.cost import compute_cost
     from .analysis.engine import (
         DirectiveError, LintOptions, analyze_source,
     )
@@ -361,8 +407,19 @@ def cmd_flow(args) -> int:
                   file=sys.stderr)
         return 2
     if args.dot == "cfg":
-        text = cfg_to_dot(result.cfg) + "\n"
+        costs = None
+        if args.costs:
+            try:
+                costs = compute_cost(result.program, hardware=args.costs)
+            except HardwareRegistryError as err:
+                print(f"repro flow: {err}", file=sys.stderr)
+                return 2
+        text = cfg_to_dot(result.cfg, costs=costs) + "\n"
     else:
+        if args.costs:
+            print("repro flow: --costs only applies to --dot cfg",
+                  file=sys.stderr)
+            return 2
         text = tdg_to_dot(result.tdg) + "\n"
     if args.output:
         with open(args.output, "w") as handle:
@@ -371,6 +428,167 @@ def cmd_flow(args) -> int:
     else:
         print(text, end="")
     return 0
+
+
+def _cost_models(specs: Optional[List[str]]) -> List[str]:
+    """Resolve ``--hardware`` picks (aliases ok) to canonical model names;
+    default is every registered model."""
+    if not specs:
+        return list(REGISTRY.names())
+    names: List[str] = []
+    for spec in specs:
+        name = REGISTRY.get(spec).name  # raises HardwareRegistryError
+        if name not in names:
+            names.append(name)
+    return names
+
+
+def cmd_cost(args) -> int:
+    """`cost`: static interval cycle bounds per program and mitigate site.
+
+    For each program, prints the whole-program unpadded-cycle interval
+    and a per-mitigate-site table of ``[lo, hi]`` x hardware model x the
+    site's marginal Theorem 2 bits from the static audit.  ``--format
+    sarif`` emits the cost-backed findings (TL021-TL025) as a SARIF log.
+    Exit codes: 0 clean, 1 cost-backed findings, 2 bad input.
+    """
+    from .analysis import render_sarif
+    from .analysis.cost import compute_cost
+    from .analysis.engine import (
+        DirectiveError, LintOptions, analyze_source,
+    )
+    from .analysis.render import dump
+    from .analysis.rules import COST_RULE_CODES
+
+    try:
+        models = _cost_models(args.hardware)
+    except HardwareRegistryError as err:
+        print(f"repro cost: {err}", file=sys.stderr)
+        return 2
+
+    options = LintOptions(
+        gamma=_gamma_spec(args),
+        levels=tuple(args.levels.split(",")) if args.levels else None,
+        adversary=args.adversary,
+        horizon=args.horizon,
+        select=frozenset(COST_RULE_CODES) | {"TL000"},
+    )
+
+    bad_input = False
+    findings = []
+    lines: List[str] = []
+    programs = []
+    for path in args.programs:
+        try:
+            source = _load(path)
+        except OSError as err:
+            print(f"repro cost: {err}", file=sys.stderr)
+            bad_input = True
+            continue
+        try:
+            result = analyze_source(source, path=path, options=options)
+        except DirectiveError as err:
+            print(f"repro cost: {path}: {err}", file=sys.stderr)
+            bad_input = True
+            continue
+        if result.fatal or result.program is None:
+            for diag in result.diagnostics:
+                print(f"repro cost: {diag.location()}: {diag.message}",
+                      file=sys.stderr)
+            bad_input = True
+            continue
+
+        reports = {
+            model: compute_cost(result.program, hardware=model)
+            for model in models
+        }
+        diags = [d for d in result.diagnostics if d.code != "TL000"]
+        findings.extend(diags)
+        bits = {
+            site.mit_id: site.contribution_bits
+            for site in (result.audit.sites if result.audit else ())
+        }
+        programs.append({
+            "path": path,
+            "hardware": {
+                model: report.as_dict()
+                for model, report in reports.items()
+            },
+            "sites": [
+                {
+                    "mit_id": site.mit_id,
+                    "line": site.span.line,
+                    "level": site.level,
+                    "budget": site.budget,
+                    "marginal_bits": bits.get(site.mit_id, 0.0),
+                    "intervals": {
+                        model: [
+                            reports[model].mitigates[site.mit_id]
+                            .interval.lo,
+                            reports[model].mitigates[site.mit_id]
+                            .interval.hi,
+                        ]
+                        for model in models
+                        if site.mit_id in reports[model].mitigates
+                    },
+                }
+                for site in reports[models[0]].mitigates.values()
+            ],
+            "diagnostics": [d.as_dict() for d in diags],
+        })
+
+        lines.append(f"{path}: static cycle-cost analysis")
+        lines.append("  <program> (unpadded cycles):")
+        for model in models:
+            lines.append(f"    {model:<12} {reports[model].program}")
+        for site in reports[models[0]].mitigates.values():
+            budget = "?" if site.budget is None else site.budget
+            lines.append(
+                f"  mitigate {site.mit_id} (line {site.span.line}, "
+                f"level {site.level}, budget {budget}): "
+                f"+{bits.get(site.mit_id, 0.0):.2f} bits"
+            )
+            for model in models:
+                entry = reports[model].mitigates.get(site.mit_id)
+                if entry is not None:
+                    lines.append(f"    {model:<12} {entry.interval}")
+        for note in reports[models[0]].notes:
+            lines.append(
+                f"  widened: line {note.span.line}: {note.message}"
+            )
+        for diag in diags:
+            lines.append(
+                f"  {diag.location()}: {diag.severity}[{diag.code}]: "
+                f"{diag.message}"
+            )
+
+    if args.format == "text":
+        if not lines:
+            lines = ["no programs analyzed"]
+        count = len(findings)
+        lines.append(
+            f"{count} cost-backed finding{'s' if count != 1 else ''}"
+            if count else "clean: no cost-backed findings"
+        )
+        text = "\n".join(lines) + "\n"
+    elif args.format == "json":
+        text = dump({
+            "schema": "repro.cost/1",
+            "hardware": models,
+            "programs": programs,
+        })
+    else:
+        text = dump(render_sarif(findings))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(text, end="")
+
+    if bad_input:
+        return 2
+    return 1 if findings else 0
 
 
 def cmd_infer(args) -> int:
@@ -955,10 +1173,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the full static-analysis engine (multi-error, "
              "TL0xx rule catalog, Theorem 2 audit)",
     )
-    p.add_argument("programs", nargs="+", metavar="program",
+    p.add_argument("programs", nargs="*", metavar="program",
                    help="program file(s); '//' header directives such as "
                         "'// gamma: h=H,l=L' configure the analysis per "
                         "file")
+    p.add_argument("--select", metavar="CODE[,CODE...]", default=None,
+                   help="only emit the listed rule codes (e.g. "
+                        "TL021,TL022)")
+    p.add_argument("--ignore", metavar="CODE[,CODE...]", default=None,
+                   help="suppress the listed rule codes")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog (code, severity, name, "
+                        "summary) and exit")
     p.add_argument("--gamma", default="",
                    help="data labels: name=LEVEL,... (overrides the "
                         "file's '// gamma:' directive)")
@@ -1004,9 +1230,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", choices=("cfg", "tdg"), default="cfg",
                    help="which graph to render as Graphviz DOT "
                         "(default cfg)")
+    p.add_argument("--costs", metavar="MODEL", default=None,
+                   help="annotate CFG basic blocks with static cycle-"
+                        "cost intervals for the named hardware model "
+                        f"({', '.join(HARDWARE_CHOICES)})")
     p.add_argument("--output", metavar="FILE", default=None,
                    help="write the DOT to FILE instead of stdout")
     p.set_defaults(func=cmd_flow)
+
+    p = sub.add_parser(
+        "cost",
+        help="static cycle-cost analysis: per-hardware [lo, hi] "
+             "interval bounds, mitigate-site table, and the cost-"
+             "backed lints TL021-TL025",
+    )
+    p.add_argument("programs", nargs="+", metavar="program",
+                   help="program file(s); '//' header directives "
+                        "configure the analysis per file")
+    p.add_argument("--hardware", action="append", metavar="MODEL",
+                   default=None,
+                   help="hardware model(s) to bound against (repeatable; "
+                        "default: every registered model)")
+    p.add_argument("--gamma", default="",
+                   help="data labels: name=LEVEL,... (overrides the "
+                        "file's '// gamma:' directive)")
+    p.add_argument("--levels", default=None,
+                   help="chain lattice levels, low to high (default L,H)")
+    p.add_argument("--adversary", default=None,
+                   help="adversary level for the marginal-bits column "
+                        "(default: lattice bottom)")
+    p.add_argument("--horizon", type=int, default=ANALYSIS_HORIZON,
+                   help="time horizon T for the audit's (1 + log2 T) "
+                        "term (default 2^20)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="report format (default text)")
+    p.add_argument("--output", metavar="FILE", default=None,
+                   help="write the report to FILE instead of stdout")
+    p.set_defaults(func=cmd_cost)
 
     p = sub.add_parser("infer", help="print with inferred labels")
     common(p)

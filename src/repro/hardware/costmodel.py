@@ -1,0 +1,416 @@
+"""Static cost contracts: interval cycle bounds per evaluation step.
+
+Every registered hardware model (:mod:`repro.hardware.registry`) charges
+one :meth:`~repro.hardware.interface.MachineEnvironment.step` per labeled
+command.  This module derives, for each model, a *static cost contract*: a
+closed-form interval ``[lo, hi]`` bounding what that step can cost, as a
+function of the step's kind, its access counts, and its read/write labels
+-- everything the abstract cost interpreter (:mod:`repro.analysis.cost`)
+knows without running the program.
+
+The contracts mirror the concrete ``step()`` implementations exactly:
+
+``null``
+    ``DEFAULT_COSTS[kind] + reads + writes`` -- a point interval.
+``standard`` / ``nofill``
+    execute cost, plus an instruction fetch in
+    ``[L1I hit, ITLB miss + L1I + L2I + memory]``, plus each data access in
+    ``[L1D hit, DTLB miss + L1D + L2D + memory]``.
+``partitioned`` / ``leakytlb``
+    same envelope when ``lr = lw``; the bypass path (``lr != lw``) is a
+    *point* interval (``execute + inst_miss + data_miss * accesses``).
+``bus``
+    adds an exact stall of ``2 * queue`` per step; the contract threads a
+    queue-occupancy interval through the abstract state.
+``writeback``
+    per-step costs as partitioned; dirty-line drains are charged as a
+    *region overhead* bounded by ``40 * (cumulative writes so far)``.
+``speculative``
+    adds ``[0, FLUSH_PENALTY]`` to every branch step.
+``frequency``
+    every step may run throttled: ``[lo, 2 * hi]``.
+
+Soundness -- every concretely observed step cost lies inside its static
+interval -- is validated by the profiler-replay harness in
+:mod:`repro.analysis.cost` and its Hypothesis property test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from ..lattice import Label
+from .interface import StepKind
+from .null import DEFAULT_COSTS
+from .params import CacheParams, MachineParams, paper_machine
+from .registry import REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Intervals
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed cycle-count interval ``[lo, hi]``; ``hi=None`` means ⊤
+    (no finite upper bound, e.g. a widened loop or an unknown sleep)."""
+
+    lo: int
+    hi: Optional[int]
+
+    @classmethod
+    def exact(cls, value: int) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def top(cls, lo: int = 0) -> "Interval":
+        return cls(lo, None)
+
+    @property
+    def bounded(self) -> bool:
+        return self.hi is not None
+
+    @property
+    def is_exact(self) -> bool:
+        return self.hi == self.lo
+
+    def __add__(self, other: "Interval") -> "Interval":
+        hi = (
+            None
+            if self.hi is None or other.hi is None
+            else self.hi + other.hi
+        )
+        return Interval(self.lo + other.lo, hi)
+
+    def join(self, other: "Interval") -> "Interval":
+        """The smallest interval containing both (lattice join)."""
+        hi = (
+            None
+            if self.hi is None or other.hi is None
+            else max(self.hi, other.hi)
+        )
+        return Interval(min(self.lo, other.lo), hi)
+
+    def scaled(self, factor: int) -> "Interval":
+        return Interval(
+            self.lo * factor, None if self.hi is None else self.hi * factor
+        )
+
+    def stretched(self, factor: int) -> "Interval":
+        """Keep ``lo``, multiply ``hi`` (e.g. a throttled-clock bound)."""
+        return Interval(
+            self.lo, None if self.hi is None else self.hi * factor
+        )
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value and (self.hi is None or value <= self.hi)
+
+    def disjoint_from(self, other: "Interval") -> bool:
+        """No cycle count lies in both intervals."""
+        below = self.hi is not None and self.hi < other.lo
+        above = other.hi is not None and other.hi < self.lo
+        return below or above
+
+    def gap(self, other: "Interval") -> int:
+        """Minimum cycle distance between the two intervals (0 if they
+        overlap)."""
+        if self.hi is not None and self.hi < other.lo:
+            return other.lo - self.hi
+        if other.hi is not None and other.hi < self.lo:
+            return self.lo - other.hi
+        return 0
+
+    def __str__(self) -> str:
+        if self.hi is None:
+            return f"[{self.lo}, ⊤]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+ZERO = Interval(0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Cache geometry (for the TL025 set-straddle check)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """The L1-data geometry a static analysis needs: which addresses share
+    a cache set."""
+
+    sets: int
+    block_bytes: int
+
+    @classmethod
+    def of(cls, cache: CacheParams) -> "CacheGeometry":
+        return cls(sets=cache.sets, block_bytes=cache.block_bytes)
+
+    def set_index(self, address: int) -> int:
+        return (address // self.block_bytes) % self.sets
+
+
+# ---------------------------------------------------------------------------
+# Contracts
+# ---------------------------------------------------------------------------
+
+
+class CostContract:
+    """Static per-step cost bounds for one hardware model.
+
+    Contracts are pure: the mutable part of a model (bus queue, dirty
+    lines) is threaded through an explicit immutable abstract state so the
+    cost interpreter can join it at control-flow merges and widen it at
+    unbounded loops.
+    """
+
+    #: Canonical registry name of the model this contract abstracts.
+    name: str = ""
+
+    def __init__(self, params: Optional[MachineParams] = None):
+        self.params = params if params is not None else paper_machine()
+
+    # -- abstract machine state (default: none) -----------------------------
+
+    def initial_state(self) -> Hashable:
+        return ()
+
+    def join_state(self, a: Hashable, b: Hashable) -> Hashable:
+        return a if a == b else self.widen_state(a)
+
+    def widen_state(self, state: Hashable) -> Hashable:
+        return state
+
+    # -- per-step and per-region bounds --------------------------------------
+
+    def step_cost(
+        self,
+        kind: StepKind,
+        reads: int,
+        writes: int,
+        is_branch: bool,
+        read_label: Optional[Label],
+        write_label: Optional[Label],
+        state: Hashable,
+    ) -> Tuple[Interval, Hashable]:
+        raise NotImplementedError
+
+    def region_overhead(self, exit_state: Hashable) -> Interval:
+        """Extra cycles a whole region may accumulate beyond the sum of its
+        per-step intervals (e.g. write-back drains)."""
+        return ZERO
+
+    def geometry(self) -> Optional[CacheGeometry]:
+        """The L1-data geometry, or ``None`` for cache-less models."""
+        return CacheGeometry.of(self.params.l1_data)
+
+
+class NullCostContract(CostContract):
+    """`null`: fixed per-kind costs -- every interval is a point."""
+
+    name = "null"
+
+    def step_cost(self, kind, reads, writes, is_branch,
+                  read_label, write_label, state):
+        cost = DEFAULT_COSTS[kind] + reads + writes
+        return Interval.exact(cost), state
+
+    def geometry(self) -> Optional[CacheGeometry]:
+        return None  # no environment state at all
+
+
+class SharedHierarchyCostContract(CostContract):
+    """`standard`/`nofill`: one hierarchy, every access may hit or miss."""
+
+    name = "standard"
+
+    def _inst_fetch(self) -> Interval:
+        p = self.params
+        return Interval(
+            p.l1_inst.latency,
+            p.inst_tlb.miss_penalty + p.l1_inst.latency
+            + p.l2_inst.latency + p.memory_latency,
+        )
+
+    def _data_access(self) -> Interval:
+        p = self.params
+        return Interval(
+            p.l1_data.latency,
+            p.data_tlb.miss_penalty + p.l1_data.latency
+            + p.l2_data.latency + p.memory_latency,
+        )
+
+    def _branch(self) -> Interval:
+        if self.params.branch is None:
+            return ZERO
+        return Interval(0, self.params.branch.penalty)
+
+    def step_cost(self, kind, reads, writes, is_branch,
+                  read_label, write_label, state):
+        cost = Interval.exact(self.params.execute_cost) + self._inst_fetch()
+        if is_branch:
+            cost = cost + self._branch()
+        cost = cost + self._data_access().scaled(reads + writes)
+        return cost, state
+
+
+class PartitionedCostContract(SharedHierarchyCostContract):
+    """`partitioned`/`leakytlb`: the cached path shares the standard
+    envelope; the bypass path (``lr != lw``) is exact."""
+
+    name = "partitioned"
+
+    def _bypass(self, reads: int, writes: int, is_branch: bool) -> Interval:
+        p = self.params
+        inst_miss = (
+            p.inst_tlb.miss_penalty + p.l1_inst.latency
+            + p.l2_inst.latency + p.memory_latency
+        )
+        data_miss = (
+            p.data_tlb.miss_penalty + p.l1_data.latency
+            + p.l2_data.latency + p.memory_latency
+        )
+        cost = p.execute_cost + inst_miss + data_miss * (reads + writes)
+        if is_branch and p.branch is not None:
+            cost += p.branch.penalty
+        return Interval.exact(cost)
+
+    def step_cost(self, kind, reads, writes, is_branch,
+                  read_label, write_label, state):
+        bypass = self._bypass(reads, writes, is_branch)
+        cached, state = super().step_cost(
+            kind, reads, writes, is_branch, read_label, write_label, state
+        )
+        if read_label is None or write_label is None:
+            # Labels unknown (inference failed): cover both paths.
+            return bypass.join(cached), state
+        if read_label != write_label:
+            return bypass, state
+        return cached, state
+
+
+class BusCostContract(PartitionedCostContract):
+    """`bus`: plus an exact ``2 * queue`` stall; the abstract state is the
+    queue-occupancy interval ``(q_lo, q_hi)``."""
+
+    name = "bus"
+    STALL_CYCLES = 2
+    DRAIN_PER_STEP = 1
+    QUEUE_CAP = 4096
+
+    def initial_state(self):
+        return (0, 0)
+
+    def join_state(self, a, b):
+        return (min(a[0], b[0]), max(a[1], b[1]))
+
+    def widen_state(self, state):
+        return (0, self.QUEUE_CAP)
+
+    def step_cost(self, kind, reads, writes, is_branch,
+                  read_label, write_label, state):
+        q_lo, q_hi = state
+        stall = Interval(q_lo * self.STALL_CYCLES, q_hi * self.STALL_CYCLES)
+        base, _ = super().step_cost(
+            kind, reads, writes, is_branch, read_label, write_label, ()
+        )
+        traffic = 1 + reads + writes
+        advance = lambda q: min(  # noqa: E731
+            self.QUEUE_CAP, max(0, q - self.DRAIN_PER_STEP) + traffic
+        )
+        return stall + base, (advance(q_lo), advance(q_hi))
+
+
+class WriteBackCostContract(PartitionedCostContract):
+    """`writeback`: per-step costs as partitioned; drains are charged per
+    *region*, bounded by the cumulative write count at region exit (every
+    drained line was dirtied by some earlier write).  The abstract state is
+    the cumulative-writes interval ``(w_lo, w_hi)``."""
+
+    name = "writeback"
+    WRITEBACK_PENALTY = 40
+
+    def initial_state(self):
+        return (0, 0)
+
+    def join_state(self, a, b):
+        hi = None if a[1] is None or b[1] is None else max(a[1], b[1])
+        return (min(a[0], b[0]), hi)
+
+    def widen_state(self, state):
+        return (state[0], None)
+
+    def step_cost(self, kind, reads, writes, is_branch,
+                  read_label, write_label, state):
+        cost, _ = super().step_cost(
+            kind, reads, writes, is_branch, read_label, write_label, ()
+        )
+        w_lo, w_hi = state
+        return cost, (w_lo + writes,
+                      None if w_hi is None else w_hi + writes)
+
+    def region_overhead(self, exit_state) -> Interval:
+        w_hi = exit_state[1]
+        if w_hi is None:
+            return Interval.top()
+        return Interval(0, w_hi * self.WRITEBACK_PENALTY)
+
+
+class SpeculativeCostContract(PartitionedCostContract):
+    """`speculative`: every branch step may mispredict and flush."""
+
+    name = "speculative"
+    FLUSH_PENALTY = 12
+
+    def step_cost(self, kind, reads, writes, is_branch,
+                  read_label, write_label, state):
+        cost, state = super().step_cost(
+            kind, reads, writes, is_branch, read_label, write_label, state
+        )
+        if is_branch:
+            cost = cost + Interval(0, self.FLUSH_PENALTY)
+        return cost, state
+
+
+class FrequencyCostContract(PartitionedCostContract):
+    """`frequency`: any step may land in a throttled thermal window."""
+
+    name = "frequency"
+    SLOWDOWN = 2
+
+    def step_cost(self, kind, reads, writes, is_branch,
+                  read_label, write_label, state):
+        cost, state = super().step_cost(
+            kind, reads, writes, is_branch, read_label, write_label, state
+        )
+        return cost.stretched(self.SLOWDOWN), state
+
+
+#: Canonical registry name -> contract class.  `leakytlb` shares the
+#: partitioned contract (it only re-routes TLB *state*, not cost bounds);
+#: `nofill` shares the standard envelope (no-fill misses still pay full
+#: memory latency).
+_CONTRACTS = {
+    "null": NullCostContract,
+    "standard": SharedHierarchyCostContract,
+    "nofill": SharedHierarchyCostContract,
+    "partitioned": PartitionedCostContract,
+    "leakytlb": PartitionedCostContract,
+    "bus": BusCostContract,
+    "writeback": WriteBackCostContract,
+    "speculative": SpeculativeCostContract,
+    "frequency": FrequencyCostContract,
+}
+
+
+def contract_for(
+    hardware: str, params: Optional[MachineParams] = None
+) -> CostContract:
+    """The static cost contract for a registered model (aliases accepted)."""
+    spec = REGISTRY.get(hardware)  # raises HardwareRegistryError if unknown
+    contract_cls = _CONTRACTS[spec.name]
+    contract = contract_cls(params)
+    contract.name = spec.name
+    return contract

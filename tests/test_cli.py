@@ -194,6 +194,85 @@ class TestLint:
         assert "unknown security level" in capsys.readouterr().err
 
 
+class TestLintSelection:
+    """`--select` / `--ignore` / `--list-rules`."""
+
+    def test_select_narrows_to_listed_codes(self, multi_bug, capsys):
+        rc = main(["lint", multi_bug, "--select", "TL010"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "TL010" in out
+        assert "TL001" not in out and "TL011" not in out
+
+    def test_ignore_drops_listed_codes(self, multi_bug, capsys):
+        rc = main(["lint", multi_bug, "--ignore", "TL001,TL010"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "TL001" not in out and "TL010" not in out
+        assert "TL011" in out
+
+    def test_select_everything_away_exits_0(self, multi_bug, capsys):
+        rc = main(["lint", multi_bug, "--select", "TL019"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_codes_are_case_insensitive(self, multi_bug, capsys):
+        rc = main(["lint", multi_bug, "--select", "tl010"])
+        assert rc == 1
+        assert "TL010" in capsys.readouterr().out
+
+    def test_unknown_code_rejected(self, multi_bug):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", multi_bug, "--select", "TL999"])
+        assert "TL999" in str(exc.value)
+        assert "--list-rules" in str(exc.value)
+
+    def test_list_rules_catalog(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        from repro.analysis.rules import RULES
+        for code, rule in RULES.items():
+            assert code in out
+            assert rule.name in out
+        assert "26 rules" in out
+
+    def test_no_programs_without_list_rules_exit_2(self, capsys):
+        rc = main(["lint"])
+        assert rc == 2
+        assert "--list-rules" in capsys.readouterr().err
+
+
+class TestFlowCommand:
+    FIXTURE = os.path.join(LINT_DIR, "tl021_unbalanced_secret_branch.tl")
+
+    def test_cfg_dot(self, capsys):
+        rc = main(["flow", self.FIXTURE, "--dot", "cfg"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph cfg")
+        assert "cost" not in out
+
+    def test_cfg_dot_with_costs(self, capsys):
+        rc = main(["flow", self.FIXTURE, "--dot", "cfg",
+                   "--costs", "partitioned"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "digraph cfg_partitioned" in out
+        assert "cost [" in out
+
+    def test_costs_rejects_tdg(self, capsys):
+        rc = main(["flow", self.FIXTURE, "--dot", "tdg",
+                   "--costs", "null"])
+        assert rc == 2
+        assert "--dot cfg" in capsys.readouterr().err
+
+    def test_costs_unknown_model(self, capsys):
+        rc = main(["flow", self.FIXTURE, "--dot", "cfg",
+                   "--costs", "warpdrive"])
+        assert rc == 2
+
+
 class TestInferAndFix:
     def test_infer_prints_annotated(self, leaky, capsys):
         rc = main(["infer", leaky, "--gamma", "h=H,ready=L"])
