@@ -2,13 +2,18 @@
 
 from .cache_probe import ProbeResult, eviction_set, probe, probe_distinguishes
 from .distinguisher import (
+    AdvantageResult,
     ThresholdResult,
+    advantage,
     chance_accuracy,
     distinguishable,
+    median,
+    median_of_n,
     partition_by,
     pearson_correlation,
     threshold_classifier,
     username_probe,
+    welch_t,
 )
 from .prefix_attack import PrefixAttackResult, recover_password
 from .sbox_attack import SboxAttackResult, recover_key_byte
@@ -21,18 +26,22 @@ from .rsa_attack import (
 )
 
 __all__ = [
+    "AdvantageResult",
     "AttackOutcome",
     "ProbeResult",
     "PrefixAttackResult",
     "SboxAttackResult",
     "ThresholdResult",
     "WeightModel",
+    "advantage",
     "chance_accuracy",
     "distinguishable",
     "eviction_set",
     "fit_weight_model",
     "hamming_weight_attack",
     "measure_key_times",
+    "median",
+    "median_of_n",
     "partition_by",
     "pearson_correlation",
     "probe",
@@ -41,4 +50,5 @@ __all__ = [
     "recover_password",
     "threshold_classifier",
     "username_probe",
+    "welch_t",
 ]

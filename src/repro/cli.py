@@ -1137,6 +1137,72 @@ def cmd_verify_hw(args) -> int:
     return 0
 
 
+def cmd_attack(args) -> int:
+    """`attack`: the red-team adversary campaign against the gateway.
+
+    Exit 0 when every defended (attack, policy) cell held its Theorem 2
+    budget and the positive control measured a channel under fifo; 1 on
+    any violation; 2 on usage errors.
+    """
+    from .adversary import (
+        REGISTRY as ATTACK_REGISTRY,
+        AttackRegistryError,
+        CampaignError,
+        render_campaign,
+        run_campaign,
+    )
+
+    if args.list:
+        for spec in ATTACK_REGISTRY.specs():
+            defeated = ",".join(sorted(spec.defeated_by))
+            print(f"{spec.name:26s} target={spec.target_app} "
+                  f"metric={spec.metric} defeated-by={defeated}")
+            print(f"    {spec.summary}")
+            print(f"    re-homes {spec.rehomes}; "
+                  f"client pools {spec.client_counts}")
+        return 0
+
+    attacks = (
+        [name for name in args.attacks.split(",") if name]
+        if args.attacks else None
+    )
+    policies = (
+        [name for name in args.policy.split(",") if name]
+        if args.policy else None
+    )
+    try:
+        clients = (
+            [int(c) for c in args.clients.split(",") if c]
+            if args.clients else None
+        )
+        if attacks:
+            for name in attacks:
+                ATTACK_REGISTRY.get(name)
+        document = run_campaign(
+            attacks=attacks,
+            policies=policies,
+            seed=args.seed,
+            clients=clients,
+            quantum=args.quantum,
+            samples=args.samples,
+            quick=args.quick,
+        )
+    except (AttackRegistryError, CampaignError, ValueError) as err:
+        print(f"repro attack: {err}", file=sys.stderr)
+        return 2
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(document, indent=2) + "\n"
+        )
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+    else:
+        print(render_campaign(document))
+        if args.output:
+            print(f"\nwrote campaign document to {args.output}")
+    return 0 if document["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -1393,6 +1459,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true",
                    help="list registered models and exit")
     p.set_defaults(func=cmd_verify_hw)
+
+    p = sub.add_parser(
+        "attack",
+        help="red-team campaign: measured adversary advantage vs each "
+             "tenant's Theorem 2 budget, per scheduler policy",
+    )
+    p.add_argument("--attacks", default=None,
+                   help="comma-separated attack names (default: all "
+                        "registered)")
+    p.add_argument("--policy", default=None,
+                   help="comma-separated scheduler policies to sweep "
+                        "(default: fifo,rr,quantized)")
+    p.add_argument("--clients", default=None,
+                   help="comma-separated adversary worker-pool sizes "
+                        "(default: each attack's registered sweep)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; every cell derives its own via "
+                        "seed ^ crc32(attack:policy:clients)")
+    p.add_argument("--samples", type=int, default=3,
+                   help="median-of-N verify samples per candidate "
+                        "(default 3)")
+    p.add_argument("--quantum", type=int, default=4096,
+                   help="quantized-policy quantum in cycles (default 4096)")
+    p.add_argument("--quick", action="store_true",
+                   help="one client-pool size per attack (bounded CI run)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the repro.adversary/1 JSON document here")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="stdout rendering (default text)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered attacks and exit")
+    p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser("report",
                        help="render an audit report from telemetry output")

@@ -141,8 +141,15 @@ class Gateway:
 
     def __init__(self, spec: WorkloadSpec,
                  recorder: Optional[TraceRecorder] = None,
-                 profiler: Optional[Profiler] = None):
+                 profiler: Optional[Profiler] = None,
+                 source: Optional[Any] = None):
         self.spec = spec
+        # The programmatic injection seam: any object with ``initial()``
+        # and ``on_response(response, time)`` (the LoadGenerator
+        # protocol) can drive the gateway -- the adversary harness
+        # (:mod:`repro.adversary`) submits its probe clients through
+        # here, interleaved with whatever background load it composes.
+        self._source = source
         # The profiling seam resolves to None when off (zero-overhead
         # default, same discipline as the interpreter's).
         self._profiler = (
@@ -180,9 +187,15 @@ class Gateway:
         self._seq = 0
         self._idle: List[int] = []
         self._ticks: set = set()
-        self._generator: Optional[LoadGenerator] = None
+        self._generator: Optional[Any] = None  # the active request source
         self._retries = 0
         self._clock = 0
+
+    def use_source(self, source: Any) -> "Gateway":
+        """Install a request source after construction (the adversary
+        harness builds its source from this gateway's handlers)."""
+        self._source = source
+        return self
 
     # -- event plumbing ------------------------------------------------------
 
@@ -254,12 +267,13 @@ class Gateway:
             stats.rejected += 1
         else:
             stats.timed_out += 1
-        follow_up = self._generator.on_done(
-            response.request, response.release if response.release is not None
-            else now,
-        )
-        if follow_up is not None:
-            self._push(follow_up.arrival, _ARRIVAL, follow_up)
+        time = response.release if response.release is not None else now
+        follow_up = self._generator.on_response(response, time)
+        if follow_up is None:
+            return
+        for request in (follow_up if isinstance(follow_up, list)
+                        else [follow_up]):
+            self._push(request.arrival, _ARRIVAL, request)
 
     def _execute(self, request: Request) -> Any:
         handler = self.handlers[request.tenant]
@@ -320,7 +334,10 @@ class Gateway:
 
     def serve(self) -> ServiceResult:
         """Run the whole workload to completion and return the result."""
-        self._generator = LoadGenerator(self.spec, self.handlers)
+        self._generator = (
+            self._source if self._source is not None
+            else LoadGenerator(self.spec, self.handlers)
+        )
         profiler = self._profiler
         if profiler is not None:
             handlers_before = profiler.wall_ns.get("gateway.handlers", 0)

@@ -27,6 +27,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from ..apps.hashing import fnv1a
 from ..apps.login import CredentialTable, LoginSystem, _random_name
 from ..apps.password import PasswordChecker
 from ..apps.rsa import RsaSystem
@@ -77,9 +78,17 @@ class Handler(ABC):
 
     def _int(self, key: str, default: int) -> int:
         value = self.config.get(key, default)
-        if not isinstance(value, int) or value <= 0:
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value <= 0:
             raise ValueError(f"handler config {key!r} must be a positive "
                              f"int, got {value!r}")
+        return value
+
+    def _bool(self, key: str, default: bool) -> bool:
+        value = self.config.get(key, default)
+        if not isinstance(value, bool):
+            raise ValueError(f"handler config {key!r} must be a bool, "
+                             f"got {value!r}")
         return value
 
     @abstractmethod
@@ -149,7 +158,14 @@ class LoginHandler(Handler):
 
 class PasswordHandler(Handler):
     """The early-exit password check: the tenant's secret is the stored
-    password.  Payload classes: ``match`` / ``mismatch`` guesses."""
+    password.  Payload classes: ``match`` / ``mismatch`` guesses.
+
+    Config knobs beyond ``length``/``budget``: ``alphabet`` bounds the
+    symbol range (small alphabets make the red-team crack tractable) and
+    ``mitigated: false`` deploys the ill-typed unmitigated program -- the
+    vulnerable victim the adversary campaign attacks, whose Theorem 2
+    budget is honestly zero bits.
+    """
 
     app = "password"
 
@@ -158,11 +174,15 @@ class PasswordHandler(Handler):
         super().__init__(lattice, config)
         length = self._int("length", 6)
         budget = self._int("budget", 1)
+        self.alphabet = self._int("alphabet", 256)
+        self.mitigated = self._bool("mitigated", True)
         self.checker = PasswordChecker(
-            lattice=lattice, length=length, mitigated=True, budget=budget
+            lattice=lattice, length=length, mitigated=self.mitigated,
+            budget=budget,
         )
         secret_rng = random.Random(seed)
-        self.stored = [secret_rng.randrange(256) for _ in range(length)]
+        self.stored = [secret_rng.randrange(self.alphabet)
+                       for _ in range(length)]
 
     def new_payload(self, rng: random.Random) -> Payload:
         if rng.random() < 0.4:
@@ -173,9 +193,9 @@ class PasswordHandler(Handler):
         prefix = rng.randrange(len(self.stored))
         guess = list(self.stored[:prefix])
         while len(guess) < len(self.stored):
-            wrong = rng.randrange(256)
+            wrong = rng.randrange(self.alphabet)
             if len(guess) == prefix and wrong == self.stored[prefix]:
-                wrong = (wrong + 1) % 256
+                wrong = (wrong + 1) % self.alphabet
             guess.append(wrong)
         return Payload({"guess": guess}, secret_class="mismatch")
 
@@ -261,9 +281,78 @@ class SboxHandler(Handler):
         )
 
 
+class TagHandler(Handler):
+    """A keyed-hash tag verifier: the tenant's secret is the MAC key.
+
+    The endpoint authenticates a message by recomputing
+    ``fnv1a(message || key)``, rendering it as hex nibbles, and comparing
+    against the client-supplied tag nibble by nibble with early exit --
+    the oscar230-style insecure compare whose response time reveals the
+    length of the matching tag prefix.  Payload classes: ``valid`` (the
+    correct tag) / ``forged`` (a random wrong tag).
+
+    Config knobs: ``nibbles`` (tag length, <= 7 since the digest is 31
+    bits), ``mitigated`` (wrap the compare in ``mitigate``; ``false``
+    deploys the vulnerable program), ``budget``.
+    """
+
+    app = "tag"
+
+    #: Bytes of message covered by the tag.
+    MESSAGE_LEN = 4
+
+    def __init__(self, lattice: Lattice, config: Mapping[str, Any],
+                 seed: int):
+        super().__init__(lattice, config)
+        self.nibbles = self._int("nibbles", 6)
+        if self.nibbles > 7:
+            raise ValueError("handler config 'nibbles' must be <= 7 "
+                             "(the digest is 31 bits)")
+        budget = self._int("budget", 1)
+        self.mitigated = self._bool("mitigated", True)
+        # The nibble-wise compare is the same early-exit program as the
+        # password check, over a 16-symbol alphabet.
+        self.checker = PasswordChecker(
+            lattice=lattice, length=self.nibbles, mitigated=self.mitigated,
+            budget=budget,
+        )
+        secret_rng = random.Random(seed)
+        self.key = [secret_rng.randrange(256) for _ in range(8)]
+
+    def tag_for(self, message: List[int]) -> List[int]:
+        """The true tag: hex nibbles of the keyed digest, most
+        significant first."""
+        digest = fnv1a(list(message) + self.key)
+        return [(digest >> (4 * (self.nibbles - 1 - i))) & 0xF
+                for i in range(self.nibbles)]
+
+    def new_payload(self, rng: random.Random) -> Payload:
+        message = [rng.randrange(256) for _ in range(self.MESSAGE_LEN)]
+        true_tag = self.tag_for(message)
+        if rng.random() < 0.4:
+            return Payload({"message": message, "tag": true_tag},
+                           secret_class="valid")
+        forged = [rng.randrange(16) for _ in range(self.nibbles)]
+        if forged == true_tag:
+            forged[0] = (forged[0] + 1) % 16
+        return Payload({"message": message, "tag": forged},
+                       secret_class="forged")
+
+    def run(self, payload, mitigation, recorder, hardware):
+        true_tag = self.tag_for(payload.args["message"])
+        return self.checker.run(
+            true_tag,
+            payload.args["tag"],
+            hardware=hardware,
+            mitigation=mitigation,
+            recorder=recorder,
+        )
+
+
 HANDLERS: Dict[str, type] = {
     cls.app: cls
-    for cls in (LoginHandler, PasswordHandler, RsaHandler, SboxHandler)
+    for cls in (LoginHandler, PasswordHandler, RsaHandler, SboxHandler,
+                TagHandler)
 }
 
 

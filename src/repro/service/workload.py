@@ -240,6 +240,16 @@ class LoadGenerator:
     starts; :meth:`on_done` is called by the gateway every time a request
     reaches a terminal state (released, rejected, or timed out) and may
     return a follow-up request (the closed-loop think cycle).
+
+    This class is also the reference implementation of the gateway's
+    *request source* protocol: anything with ``initial()`` and
+    ``on_response(response, time)`` can drive the gateway
+    (``Gateway(spec, source=...)``) -- the seam the red-team adversary
+    clients (:mod:`repro.adversary`) inject through.  ``on_response``
+    receives the full terminal :class:`~repro.service.gateway.Response`
+    (so a source can read release times, the adversary's observable) and
+    may return ``None``, one follow-up :class:`Request`, or a list of
+    them.
     """
 
     def __init__(self, spec: WorkloadSpec, handlers: Mapping[str, Handler]):
@@ -286,3 +296,8 @@ class LoadGenerator:
             return None
         think = int(self.spec.arrival["think"])
         return self._next_request(time + think, client=request.client)
+
+    def on_response(self, response: Any, time: int) -> Optional[Request]:
+        """Request-source protocol entry point: the load generator only
+        needs the request identity, not the response timing."""
+        return self.on_done(response.request, time)

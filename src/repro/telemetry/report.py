@@ -201,6 +201,25 @@ def _metrics_report(doc: Mapping[str, Any]) -> Tuple[List[str], bool]:
     return lines, ok
 
 
+def _probe_line(probe: Mapping[str, Any]) -> str:
+    """One distinguisher probe, numerically: classes, raw sample counts,
+    measured advantage, and the Welch significance verdict."""
+    classes = probe.get("classes", ["?", "?"])
+    samples = probe.get("samples", ["?", "?"])
+    p_value = probe.get("p_value")
+    stats = ""
+    if p_value is not None:
+        verdict = ("significant" if probe.get("significant")
+                   else "not significant")
+        stats = f", p={p_value:.2e} ({verdict})"
+    return (
+        f"distinguisher {classes[0]} (n={samples[0]}) vs "
+        f"{classes[1]} (n={samples[1]}): advantage "
+        f"{probe.get('advantage', 0.0):+.3f} over chance "
+        f"{probe.get('chance', 0.0):.3f}{stats}"
+    )
+
+
 def _service_section(service: Mapping[str, Any]) -> Tuple[List[str], bool]:
     """Render the gateway's ``service`` section (``repro serve``
     documents; see docs/SERVICE.md)."""
@@ -241,19 +260,14 @@ def _service_section(service: Mapping[str, Any]) -> Tuple[List[str], bool]:
         )
         probe = audit.get("probe")
         if probe:
-            classes = probe.get("classes", ["?", "?"])
-            lines.append(
-                f"    distinguisher {classes[0]} vs {classes[1]}: "
-                f"advantage {probe.get('advantage', 0.0):+.3f}"
-            )
+            lines.append("    " + _probe_line(probe))
     cross = service.get("cross_tenant", [])
     if cross:
         worst = max(cross, key=lambda p: p.get("advantage", 0.0))
         lines.append(
-            f"  cross-tenant probes: {len(cross)}; worst advantage "
-            f"{worst.get('advantage', 0.0):+.3f} "
+            f"  cross-tenant probes: {len(cross)}; worst "
             f"({worst.get('observer', '?')} observing "
-            f"{worst.get('victim', '?')})"
+            f"{worst.get('victim', '?')}): " + _probe_line(worst)
         )
     if not service.get("audit_ok", True):
         ok = False

@@ -12,16 +12,20 @@ from repro.hardware import (
     tiny_machine,
 )
 from repro.attacks import (
+    advantage,
     chance_accuracy,
     distinguishable,
     eviction_set,
     fit_weight_model,
+    median,
+    median_of_n,
     partition_by,
     pearson_correlation,
     probe,
     probe_distinguishes,
     threshold_classifier,
     username_probe,
+    welch_t,
 )
 
 LAT = DEFAULT_LATTICE
@@ -80,6 +84,93 @@ class TestDistinguishers:
         assert pearson_correlation([1, 2, 3], [5, 5, 5]) == 0.0
         with pytest.raises(ValueError):
             pearson_correlation([1], [2])
+
+
+class TestMedianSampling:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2.0
+
+    def test_median_even(self):
+        assert median([4, 1, 3, 2]) == 2.5
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_median_of_n_rejects_outlier(self):
+        samples = iter([10, 10, 900, 10, 10])
+        assert median_of_n(lambda: next(samples), 5) == 10.0
+
+    def test_median_of_n_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            median_of_n(lambda: 1, 0)
+
+
+class TestWelchAdvantage:
+    def test_separated_samples_significant(self):
+        fast = [100, 101, 99, 100, 102, 98, 100, 101]
+        slow = [200, 201, 199, 200, 202, 198, 200, 199]
+        result = advantage(fast, slow)
+        assert result.advantage == pytest.approx(0.5)
+        assert result.accuracy == 1.0
+        assert result.p_value < 1e-6
+        assert result.significant()
+
+    def test_identical_constant_samples_not_significant(self):
+        result = advantage([5, 5, 5, 5], [5, 5, 5, 5])
+        assert result.advantage == 0.0
+        assert result.t_stat == 0.0
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_distinct_constant_samples_deterministic(self):
+        result = advantage([5, 5, 5], [9, 9, 9])
+        assert result.t_stat == float("-inf")
+        assert result.p_value == 0.0
+        assert result.significant()
+
+    def test_same_distribution_not_significant(self):
+        import random
+
+        rng = random.Random(2012)
+        a = [rng.gauss(100, 10) for _ in range(40)]
+        b = [rng.gauss(100, 10) for _ in range(40)]
+        result = advantage(a, b)
+        assert not result.significant(alpha=0.01)
+        assert result.advantage < 0.3
+
+    def test_welch_t_matches_known_value(self):
+        # Classic Welch example: unequal sizes and variances.
+        a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6,
+             23.1, 19.6, 19.0, 21.7, 21.4]
+        b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2,
+             21.9, 22.1, 22.9, 30.5, 25.2, 27.3, 14.1, 15.9, 19.8, 14.0]
+        t_stat, dof = welch_t(a, b)
+        assert t_stat == pytest.approx(-1.2755, abs=0.001)
+        assert dof == pytest.approx(32.63, abs=0.05)
+
+    def test_welch_needs_two_per_class(self):
+        with pytest.raises(ValueError):
+            welch_t([1], [2, 3])
+
+    def test_p_value_matches_reference(self):
+        # t=2.0, dof=10 -> two-sided p = 0.07339 (reference tables).
+        fast = [100, 101, 99, 100, 102, 98]
+        slow = [200, 201, 199, 200, 202, 198]
+        result = advantage(fast, slow)
+        assert 0.0 <= result.p_value <= 1.0
+        from repro.attacks.distinguisher import _student_t_sf
+
+        assert 2 * _student_t_sf(2.0, 10.0) == pytest.approx(0.07339,
+                                                             abs=1e-4)
+        assert 2 * _student_t_sf(2.228, 10.0) == pytest.approx(0.05,
+                                                               abs=1e-3)
+
+    def test_as_dict_round_trips(self):
+        result = advantage([1, 2, 3, 4], [10, 11, 12, 13])
+        d = result.as_dict()
+        assert d["samples_a"] == 4 and d["samples_b"] == 4
+        assert d["advantage"] == result.advantage
 
 
 class TestWeightModel:

@@ -681,3 +681,50 @@ class TestVerifyHw:
         rc = main(["verify-hw", "--lattices", "pentagon"])
         assert rc == 2
         assert "pentagon" in capsys.readouterr().err
+
+
+class TestAttack:
+    def test_list_catalogs_the_registry(self, capsys):
+        rc = main(["attack", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("password-crack", "password-crack-mitigated",
+                     "tag-forge", "contention-probe"):
+            assert name in out
+
+    def test_quantized_defeats_every_attack(self, capsys, tmp_path):
+        out_path = tmp_path / "campaign.json"
+        rc = main(["attack", "--policy", "quantized", "--quick",
+                   "--attacks", "password-crack,tag-forge",
+                   "--seed", "7", "--output", str(out_path)])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.adversary/1"
+        assert doc["cells"]
+        assert all(cell["within_budget"] for cell in doc["cells"])
+        text = capsys.readouterr().out
+        assert "defeated" in text
+        assert "campaign: OK" in text
+
+    def test_fifo_satisfies_the_positive_control(self, capsys):
+        rc = main(["attack", "--policy", "fifo", "--quick",
+                   "--attacks", "password-crack", "--seed", "7",
+                   "--format", "json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["positive_control"]["checked"]
+        assert doc["positive_control"]["ok"]
+        (cell,) = doc["cells"]
+        assert cell["bits_extracted"] > 0
+        assert cell["significant"]
+
+    def test_rejects_unknown_policy(self, capsys):
+        rc = main(["attack", "--policy", "lifo"])
+        assert rc == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_rejects_unknown_attack(self, capsys):
+        rc = main(["attack", "--attacks", "port-scan",
+                   "--policy", "fifo", "--quick"])
+        assert rc == 2
+        assert "unknown attack" in capsys.readouterr().err

@@ -92,16 +92,20 @@ class TestDocsConsistency:
             pytest.skip("benches not yet run in this checkout")
         produced = set(os.listdir(results))
         # Every results file is a Report's .txt, a telemetry metrics
-        # document, or a Chrome trace-event timeline (schema
-        # repro.telemetry/1, see docs/TELEMETRY.md).
+        # document, a Chrome trace-event timeline (schema
+        # repro.telemetry/1, see docs/TELEMETRY.md), or a red-team
+        # campaign document (repro.adversary/1, see docs/ATTACKS.md).
         assert produced
         for name in produced:
             assert (name.endswith(".txt")
                     or name.endswith("_metrics.json")
-                    or name.endswith("_trace.json"))
-        # Each telemetry artifact sits next to its report.
+                    or name.endswith("_trace.json")
+                    or name.endswith("_campaign.json"))
+        # Each JSON artifact sits next to its report.
         for name in produced:
             if name.endswith("_metrics.json"):
                 assert name.replace("_metrics.json", ".txt") in produced
             elif name.endswith("_trace.json"):
                 assert name.replace("_trace.json", ".txt") in produced
+            elif name.endswith("_campaign.json"):
+                assert name.replace("_campaign.json", ".txt") in produced

@@ -353,3 +353,136 @@ class TestSchemePenaltyPlumbing:
         spec = WorkloadSpec.from_dict(spec_dict(requests=6))
         result = Gateway(spec).serve()
         assert len(result.responses) == 6
+
+
+class TestHandlerKnobs:
+    """The red-team victim knobs: ``alphabet``, ``mitigated``, and the
+    keyed-hash tag endpoint (docs/ATTACKS.md)."""
+
+    def test_password_alphabet_bounds_the_stored_secret(self):
+        raw = spec_dict(tenants=[
+            {"name": "t", "app": "password",
+             "config": {"length": 4, "alphabet": 8}},
+        ])
+        handler = WorkloadSpec.from_dict(raw).build_handlers()["t"]
+        assert len(handler.stored) == 4
+        assert all(0 <= s < 8 for s in handler.stored)
+
+    def test_mitigated_must_be_a_bool(self):
+        raw = spec_dict(tenants=[
+            {"name": "t", "app": "password",
+             "config": {"length": 4, "mitigated": "yes"}},
+        ])
+        with pytest.raises((WorkloadError, ValueError), match="bool"):
+            WorkloadSpec.from_dict(raw).build_handlers()
+
+    def test_unmitigated_password_varies_its_service_time(self):
+        raw = spec_dict(requests=30, tenants=[
+            {"name": "t", "app": "password",
+             "config": {"mitigated": False, "length": 4, "alphabet": 8}},
+        ])
+        result = serve_workload(raw)  # fifo: observable = service time
+        assert len(set(result.stats["t"].observables)) > 1
+
+    def test_mitigated_password_is_flat_at_covering_budget(self):
+        raw = spec_dict(requests=30, tenants=[
+            {"name": "t", "app": "password",
+             "config": {"mitigated": True, "length": 4, "alphabet": 8,
+                        "budget": 4096}},
+        ])
+        result = serve_workload(raw)
+        assert len(set(result.stats["t"].observables)) == 1
+
+    def tag_handler(self, **config):
+        raw = spec_dict(tenants=[
+            {"name": "t", "app": "tag", "config": config},
+        ])
+        return WorkloadSpec.from_dict(raw).build_handlers()["t"]
+
+    def test_tag_for_is_deterministic_and_nibble_bounded(self):
+        handler = self.tag_handler(nibbles=5)
+        tag = handler.tag_for([1, 2, 3, 4])
+        assert tag == handler.tag_for([1, 2, 3, 4])
+        assert len(tag) == 5
+        assert all(0 <= n < 16 for n in tag)
+
+    def test_tag_payload_classes_match_the_true_tag(self):
+        import random as _random
+
+        handler = self.tag_handler(nibbles=5)
+        rng = _random.Random(3)
+        seen = set()
+        for _ in range(40):
+            payload = handler.new_payload(rng)
+            seen.add(payload.secret_class)
+            true_tag = handler.tag_for(payload.args["message"])
+            if payload.secret_class == "valid":
+                assert payload.args["tag"] == true_tag
+            else:
+                assert payload.args["tag"] != true_tag
+        assert seen == {"valid", "forged"}
+
+    def test_tag_nibbles_capped_at_digest_width(self):
+        with pytest.raises((WorkloadError, ValueError), match="nibbles"):
+            self.tag_handler(nibbles=8)
+
+    def test_tag_tenant_serves_and_audits(self):
+        raw = spec_dict(requests=20, policy="quantized", tenants=[
+            {"name": "t", "app": "tag", "config": {"nibbles": 5}},
+        ])
+        result = serve_workload(raw)
+        audit = audit_service(result)
+        assert result.stats["t"].completed > 0
+        assert audit.ok
+
+
+class TestRequestSourceSeam:
+    """The programmatic multi-client injection seam the adversary
+    subsystem drives (``Gateway(spec, source=...)``)."""
+
+    class ScriptedSource:
+        def __init__(self, handlers, tenant, count=6):
+            import random as _random
+
+            self.rng = _random.Random(1)
+            self.handlers = handlers
+            self.tenant = tenant
+            self.count = count
+            self.seen = []
+
+        def _request(self, req_id, arrival):
+            return Request(
+                req_id=req_id, tenant=self.tenant, arrival=arrival,
+                payload=self.handlers[self.tenant].new_payload(self.rng),
+            )
+
+        def initial(self):
+            return [self._request(1_000_000, 0)]
+
+        def on_response(self, response, time):
+            self.seen.append(response.request.req_id)
+            if len(self.seen) >= self.count:
+                return None
+            # A bare Request (not a list): the seam accepts both.
+            return self._request(1_000_000 + len(self.seen), time + 100)
+
+    def test_gateway_serves_a_custom_source(self):
+        wspec = WorkloadSpec.from_dict(spec_dict())
+        gateway = Gateway(wspec)
+        source = self.ScriptedSource(gateway.handlers, "beta")
+        result = gateway.use_source(source).serve()
+        assert source.seen == [1_000_000 + i for i in range(6)]
+        assert len(result.completed()) == 6
+        assert all(r.tenant == "beta" for r in result.completed())
+
+    def test_source_constructor_argument(self):
+        wspec = WorkloadSpec.from_dict(spec_dict())
+        handlers = wspec.build_handlers()
+        source = self.ScriptedSource(handlers, "alpha", count=3)
+        result = Gateway(wspec, source=source).serve()
+        assert len(source.seen) == 3
+        assert all(r.tenant == "alpha" for r in result.completed())
+
+    def test_default_source_is_the_spec_load_generator(self):
+        result = Gateway(WorkloadSpec.from_dict(spec_dict())).serve()
+        assert len(result.responses) == 20
