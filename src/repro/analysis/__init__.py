@@ -25,6 +25,12 @@ it into a multi-pass *lint engine* that reports every finding in one run:
   cross-check behind ``repro cost``;
 * :mod:`.audit` -- the static Theorem 2 leakage audit per mitigate site,
   with reachability-tightened vs. syntactic bounds;
+* :mod:`.quantify` -- the quantitative leakage solver: a path-sensitive
+  census of timing-equivalence classes per hardware model (channel
+  capacity in bits, the TL026-TL028 inputs);
+* :mod:`.synthesize` -- mitigation-placement synthesis
+  (``repro tune``): branch-and-bound over placement x scheme x budgets
+  under a bits budget;
 * :mod:`.render` -- human text (with carets), JSON, and SARIF 2.1.0
   (codeFlows, relatedLocations, partialFingerprints);
 * :mod:`.engine` -- the driver tying it together (``repro lint``).
@@ -49,11 +55,20 @@ from .flows import (
     build_tdg,
     tdg_to_dot,
 )
-from .render import render_json, render_sarif, render_text
+from .quantify import (
+    QuantifyReport,
+    SiteQuant,
+    TimingClass,
+    quantify,
+    quantify_all,
+)
+from .render import model_rows, render_json, render_sarif, render_text
 from .rules import RULES, Rule
+from .synthesize import Candidate, TuneResult, synthesize
 
 __all__ = [
     "CFG",
+    "Candidate",
     "CostReport",
     "CollectingTypeChecker",
     "ConstantPropagation",
@@ -65,12 +80,16 @@ __all__ = [
     "LintResult",
     "LiveVariables",
     "MitigateSite",
+    "QuantifyReport",
     "RULES",
     "ReachingDefinitions",
     "Rule",
     "Severity",
+    "SiteQuant",
     "Solution",
+    "TimingClass",
     "TimingDependenceGraph",
+    "TuneResult",
     "analyze_program",
     "analyze_source",
     "audit_leakage",
@@ -80,11 +99,15 @@ __all__ = [
     "check_corpus",
     "collect_typing_diagnostics",
     "compute_cost",
+    "model_rows",
+    "quantify",
+    "quantify_all",
     "reachable_commands",
     "render_json",
     "render_sarif",
     "render_text",
     "replay_program",
     "solve",
+    "synthesize",
     "tdg_to_dot",
 ]

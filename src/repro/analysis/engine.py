@@ -8,6 +8,7 @@ example programs declare their own analysis configuration in leading
     // levels: L,M,H
     // adversary: L
     // infer: off
+    // budget: 1.5
     // require-cache-labels
 
 The pipeline per file: parse directives -> parse program (a syntax error
@@ -47,6 +48,7 @@ from .flows import (
     build_tdg,
 )
 from .lints import LintContext, run_lints
+from .quantify import QuantifyReport, quantify
 from .rules import RULES
 
 
@@ -75,6 +77,9 @@ class LintOptions:
     select: Optional[frozenset] = None
     #: Drop these rule codes (applied after ``select``).
     ignore: frozenset = frozenset()
+    #: Channel-capacity budget in bits for TL026 (overrides the file's
+    #: ``// budget:`` directive when set).
+    bits_budget: Optional[float] = None
 
 
 @dataclass
@@ -93,6 +98,12 @@ class LintResult:
     tdg: Optional[TimingDependenceGraph] = None
     #: Static cost report on the exact ``null`` contract (lint facts).
     cost: Optional[CostReport] = None
+    #: Timing-equivalence-class censuses by hardware model, when the
+    #: capacity-backed passes ran (always includes ``null``; every
+    #: registry model when a bits budget was declared).
+    quantify: Optional[Dict[str, "QuantifyReport"]] = None
+    #: The bits budget the censuses were checked against, if any.
+    bits_budget: Optional[float] = None
 
     @property
     def fatal(self) -> bool:
@@ -106,7 +117,9 @@ class LintResult:
 
 # -- directives ----------------------------------------------------------------
 
-_DIRECTIVE = re.compile(r"^//\s*(gamma|levels|adversary|infer)\s*:\s*(.+)$")
+_DIRECTIVE = re.compile(
+    r"^//\s*(gamma|levels|adversary|infer|budget)\s*:\s*(.+)$"
+)
 _FLAG = re.compile(r"^//\s*(require-cache-labels)\s*$")
 
 
@@ -216,6 +229,19 @@ def analyze_source(
         )
     adversary = lattice[adversary_name] if adversary_name else None
 
+    bits_budget = options.bits_budget
+    if bits_budget is None and "budget" in directives:
+        raw_budget = directives["budget"]
+        try:
+            bits_budget = float(raw_budget)
+        except ValueError:
+            raise DirectiveError(
+                f"budget directive must be a number of bits, got "
+                f"{raw_budget!r}"
+            )
+        if bits_budget < 0:
+            raise DirectiveError("budget directive must be >= 0 bits")
+
     try:
         program = parse(source, lattice)
     except (LexError, ParseError) as err:
@@ -229,7 +255,7 @@ def analyze_source(
         program, SecurityEnvironment(lattice, bindings), lattice,
         path=path, source=source, infer=infer,
         require_cache_labels=require_cache, adversary=adversary,
-        options=options,
+        options=options, bits_budget=bits_budget,
     )
 
 
@@ -249,6 +275,7 @@ def analyze_program(
         infer=options.infer if options.infer is not None else True,
         require_cache_labels=options.require_cache_labels,
         adversary=adversary, options=options,
+        bits_budget=options.bits_budget,
     )
 
 
@@ -262,6 +289,7 @@ def _analyze(
     require_cache_labels: bool,
     adversary: Optional[Label],
     options: LintOptions,
+    bits_budget: Optional[float] = None,
 ) -> LintResult:
     tolerant = TolerantEnvironment(gamma)
     diagnostics = unbound_variable_diagnostics(program, gamma)
@@ -292,11 +320,41 @@ def _analyze(
     if geometry is None:
         geometry = CacheGeometry.of(contract.params.l1_data)
 
+    # Capacity facts for the TL026-TL028 family, computed only when those
+    # passes can actually emit (select/ignore pre-filtering): TL027/TL028
+    # need the deterministic `null` census; TL026 compares every registry
+    # model against the declared bits budget.
+    def _wanted(code: str) -> bool:
+        if options.select is not None and code not in options.select:
+            return False
+        return code not in options.ignore
+
+    censuses: Optional[Dict[str, QuantifyReport]] = None
+    if options.lints and (
+            _wanted("TL027") or _wanted("TL028")
+            or (bits_budget is not None and _wanted("TL026"))):
+        censuses = {
+            "null": quantify(
+                program, tolerant, hardware="null",
+                horizon=options.horizon,
+            )
+        }
+        if bits_budget is not None and _wanted("TL026"):
+            from ..hardware.registry import REGISTRY
+
+            for name in REGISTRY.names():
+                if name not in censuses:
+                    censuses[name] = quantify(
+                        program, tolerant, hardware=name,
+                        horizon=options.horizon,
+                    )
+
     if options.lints:
         ctx = LintContext(
             program=program, gamma=tolerant, lattice=lattice, typing=info,
             cfg=cfg, constants=constants, reachable=reachable, tdg=tdg,
             cost=cost, geometry=geometry,
+            quantify=censuses, bits_budget=bits_budget,
         )
         diagnostics.extend(run_lints(ctx))
 
@@ -327,4 +385,5 @@ def _analyze(
         path=path, source=source, diagnostics=diagnostics,
         audit=audit, program=program, gamma=tolerant,
         lattice=lattice, typing=info, cfg=cfg, tdg=tdg, cost=cost,
+        quantify=censuses, bits_budget=bits_budget,
     )

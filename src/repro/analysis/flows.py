@@ -285,7 +285,7 @@ def build_tdg(
 
 #: Rules `repro lint --explain` can derive a source->sink path for.
 EXPLAINABLE = ("TL001", "TL002", "TL003", "TL006", "TL010", "TL013",
-               "TL021", "TL024")
+               "TL021", "TL024", "TL026", "TL027", "TL028")
 
 _MAX_CHAIN = 16
 
@@ -602,6 +602,81 @@ class FlowExplainer:
                     ))
                     return chain
         return None
+
+    def _secret_branch_chain(
+        self, root: ast.Command
+    ) -> Optional[Tuple[List[FlowStep], ast.LabeledCommand]]:
+        """A source chain into the first secret-guarded branch under
+        ``root`` (the fork the capacity census counts)."""
+        for sub in ast.labeled_commands(root):
+            if not isinstance(sub, (ast.If, ast.While)):
+                continue
+            for name in sorted(sub.cond.variables()):
+                chain = self._value_chain(
+                    name, sub.node_id, self.lattice.bottom, frozenset()
+                )
+                if chain is not None:
+                    chain.append(self._step(
+                        "branch",
+                        f"branching on {name!r} forks the execution into "
+                        "timing-distinguishable classes",
+                        sub.node_id,
+                    ))
+                    return chain, sub
+        return None
+
+    def _explain_tl026(self, cmd) -> Optional[List[FlowStep]]:
+        # Anchored at the widest fork the census counted: an If guard, or
+        # any labeled command when the fork was synthetic.
+        found = self._secret_branch_chain(cmd)
+        if found is None:
+            return None
+        chain, _branch = found
+        chain.append(self._sink_step(
+            "the timing-equivalence classes this fork creates push the "
+            "channel capacity past the file's declared `// budget:` "
+            "bits bound -- the flagged sink",
+            cmd.node_id,
+        ))
+        return chain
+
+    def _explain_tl027(self, cmd) -> Optional[List[FlowStep]]:
+        if not isinstance(cmd, ast.Mitigate):
+            return None
+        found = self._secret_branch_chain(cmd.body)
+        steps: List[FlowStep] = found[0] if found else []
+        steps.append(self._step(
+            "mitigate",
+            "this mitigate absorbs the body's variation into a single "
+            "deadline class -- capacity is already at its floor",
+            cmd.node_id,
+        ))
+        steps.append(self._sink_step(
+            "a smaller initial budget reaches the same single deadline "
+            "class: the padding beyond it is pure latency, not "
+            "mitigation -- the flagged sink",
+            cmd.node_id,
+        ))
+        return steps
+
+    def _explain_tl028(self, cmd) -> Optional[List[FlowStep]]:
+        if not isinstance(cmd, ast.Mitigate):
+            return None
+        found = self._secret_branch_chain(cmd.body)
+        steps: List[FlowStep] = found[0] if found else []
+        steps.append(self._step(
+            "mitigate",
+            "the body's cycle spread straddles several deadlines of this "
+            "mitigate's prediction sequence",
+            cmd.node_id,
+        ))
+        steps.append(self._sink_step(
+            "which deadline fires is decided by the secret, so the "
+            "quantum itself -- not the body's data flow -- carries the "
+            "capacity -- the flagged sink",
+            cmd.node_id,
+        ))
+        return steps
 
 
 def attach_flows(

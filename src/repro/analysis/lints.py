@@ -10,6 +10,7 @@ unreachable commands).  Each rule is a generator over a shared
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
@@ -19,12 +20,14 @@ from ..lang.pretty import pretty, pretty_expr
 from ..lattice import Lattice
 from ..machine.layout import WORD_BYTES
 from ..semantics.core import _apply as _apply_binop
+from ..semantics.mitigation import make_scheme
 from ..typesystem.environment import SecurityEnvironment
 from ..typesystem.typing import TypingInfo
 from .cfg import CFG
 from .cost import CostReport
 from .diagnostics import Diagnostic
 from .flows import TimingDependenceGraph
+from .quantify import QuantifyReport, deadline_span
 from .rules import RULES
 
 
@@ -55,6 +58,13 @@ class LintContext:
     cost: Optional[CostReport] = field(default=None)
     #: L1-data geometry for the TL025 set-straddle check.
     geometry: Optional[CacheGeometry] = field(default=None)
+    #: Timing-equivalence-class censuses keyed by hardware model
+    #: (:mod:`repro.analysis.quantify`).  The engine always provides the
+    #: ``null`` census when the TL027/TL028 passes are wanted, and every
+    #: registry model when a ``// budget:`` directive asks for TL026.
+    quantify: Optional[Dict[str, "QuantifyReport"]] = field(default=None)
+    #: The ``// budget:`` directive's bits bound, when declared.
+    bits_budget: Optional[float] = field(default=None)
 
 
 def _diag(code: str, message: str, cmd: ast.LabeledCommand,
@@ -637,6 +647,167 @@ def lint_cost_divergent_array_access(
             )
 
 
+# -- TL026-TL028: capacity-backed lints (quantitative census) ------------------
+
+
+def _anchor_for(ctx: LintContext, node_id: int) -> ast.LabeledCommand:
+    """The command carrying ``node_id``, or the program's first labeled
+    command as a fallback anchor."""
+    first = None
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.LabeledCommand):
+            continue
+        if first is None:
+            first = cmd
+        if cmd.node_id == node_id:
+            return cmd
+    assert first is not None, "a parsed program has labeled commands"
+    return first
+
+
+def lint_leakage_exceeds_budget(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.bits_budget is None or not ctx.quantify:
+        return
+    violating = {
+        model: report
+        for model, report in ctx.quantify.items()
+        if report.exceeds(ctx.bits_budget)
+    }
+    if not violating:
+        return
+    worst_model = max(
+        violating,
+        key=lambda m: (violating[m].saturated, violating[m].capacity_bits),
+    )
+    worst = violating[worst_model]
+    anchor_id = (
+        max(worst.forks, key=lambda f: f.bits).node_id
+        if worst.forks else -1
+    )
+    capacity = (
+        f"saturated (> {worst.capacity_bits:.2f} bits)" if worst.saturated
+        else f"{worst.capacity_bits:.2f} bits"
+    )
+    others = sorted(set(violating) - {worst_model})
+    also = f" (also violated on: {', '.join(others)})" if others else ""
+    yield _diag(
+        "TL026",
+        f"declared budget is {ctx.bits_budget:g} bits but the timing-"
+        f"equivalence-class census on the {worst_model!r} model is "
+        f"{capacity}{also}; run `repro tune --bits-budget "
+        f"{ctx.bits_budget:g}` to synthesize a compliant mitigation "
+        "placement",
+        _anchor_for(ctx, anchor_id),
+    )
+
+
+def _deadline_profile(scheme, budget: int, body, horizon: int):
+    """``(classes, worst_padded)`` the scheme emits for a body interval
+    under one initial budget (Miss counter entering at zero)."""
+    m_lo, m_hi = deadline_span(scheme, budget, 0, body, horizon)
+    return m_hi - m_lo + 1, scheme.predict(budget, m_hi)
+
+
+def _cost_flagged(ctx: LintContext, mit_id: str) -> bool:
+    """Is the site already claimed by the cost family (TL022/TL023)?
+    Those rules speak to the same budget knob; the capacity-backed pair
+    defers to them so one site gets one story."""
+    if ctx.cost is None:
+        return False
+    site = ctx.cost.mitigates.get(mit_id)
+    if site is None or site.budget is None or site.budget <= 0:
+        return False
+    prediction = site.initial_prediction
+    if site.interval.lo > prediction:
+        return True  # TL022 territory
+    hi = site.interval.hi
+    return hi is not None and hi > 0 and prediction >= 4 * hi
+
+
+def lint_quantum_dominates_leakage(
+    ctx: LintContext,
+) -> Iterator[Diagnostic]:
+    if not ctx.quantify:
+        return
+    report = ctx.quantify.get("null")
+    if report is None:
+        return
+    scheme = make_scheme(report.scheme)
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.Mitigate):
+            continue
+        site = report.sites.get(cmd.mit_id)
+        if (site is None or site.budget is None or site.budget <= 0
+                or site.body.hi is None or site.deadline_classes <= 1):
+            continue
+        if _cost_flagged(ctx, cmd.mit_id):
+            continue
+        if site.deadline_bits < report.fork_bits:
+            continue  # data-flow forks, not the quantum, drive capacity
+        rebudget = site.body.hi + 1
+        new_classes, new_padded = _deadline_profile(
+            scheme, rebudget, site.body, report.horizon
+        )
+        if new_classes >= site.deadline_classes:
+            continue
+        yield _diag(
+            "TL028",
+            f"this mitigate's {report.scheme} deadline sequence quantizes "
+            f"its body cost {site.body} into {site.deadline_classes} "
+            f"observable padded durations ({site.deadline_bits:.2f} bits "
+            "-- the dominant capacity contribution on the 'null' model); "
+            f"an initial budget of {rebudget} covers the whole body in "
+            f"{new_classes} deadline class"
+            f"{'es' if new_classes != 1 else ''}, padding to {new_padded} "
+            "cycles",
+            cmd,
+            fix=pretty(_rebudgeted(cmd, rebudget)),
+        )
+
+
+def lint_dominated_mitigate(ctx: LintContext) -> Iterator[Diagnostic]:
+    if not ctx.quantify:
+        return
+    report = ctx.quantify.get("null")
+    if report is None:
+        return
+    scheme = make_scheme(report.scheme)
+    for cmd in ctx.program.walk():
+        if not isinstance(cmd, ast.Mitigate):
+            continue
+        site = report.sites.get(cmd.mit_id)
+        if (site is None or site.budget is None or site.budget <= 0
+                or site.body.hi is None):
+            continue
+        if _cost_flagged(ctx, cmd.mit_id):
+            continue
+        cur_classes, cur_padded = _deadline_profile(
+            scheme, site.budget, site.body, report.horizon
+        )
+        if cur_classes > 1:
+            continue  # TL028's territory: the quantum creates classes
+        rebudget = site.body.hi + 1
+        new_classes, new_padded = _deadline_profile(
+            scheme, rebudget, site.body, report.horizon
+        )
+        # "Dominated" means strictly cheaper at the *same* capacity, with
+        # enough headroom (>2x padding) that the rewrite is worth taking;
+        # TL023 separately owns the >=4x gross-overprovisioning band.
+        if new_classes != cur_classes or cur_padded <= 2 * new_padded:
+            continue
+        yield _diag(
+            "TL027",
+            f"budget {site.budget} pads every epoch to {cur_padded} "
+            f"cycles, but budget {rebudget} yields the exact same "
+            f"deadline-class census ({new_classes} class"
+            f"{'es' if new_classes != 1 else ''} on the 'null' model) "
+            f"while padding only to {new_padded}: the written budget is "
+            "dominated -- it buys latency, not capacity",
+            cmd,
+            fix=pretty(_rebudgeted(cmd, rebudget)),
+        )
+
+
 #: Every AST lint pass, in catalog order.
 LINT_PASSES: Tuple[Callable[[LintContext], Iterator[Diagnostic]], ...] = (
     lint_secret_sleep,
@@ -655,6 +826,9 @@ LINT_PASSES: Tuple[Callable[[LintContext], Iterator[Diagnostic]], ...] = (
     lint_overprovisioned_mitigate,
     lint_unbounded_secret_loop_cost,
     lint_cost_divergent_array_access,
+    lint_leakage_exceeds_budget,
+    lint_quantum_dominates_leakage,
+    lint_dominated_mitigate,
 )
 
 

@@ -1,0 +1,801 @@
+"""Quantitative leakage: timing-equivalence classes per hardware model.
+
+The Theorem 2 audit (:mod:`repro.analysis.audit`) bounds leakage from the
+*shape* of the program alone -- ``|L^| * log2(K+1) * (1 + log2 T)`` counts
+mitigate sites, not what the clock can actually resolve.  This module
+computes the complementary *capacity* measure in the style of Di Pierro et
+al. (arXiv:0807.3879): a path-sensitive abstract interpreter walks the
+program with one hardware model's :class:`~repro.hardware.costmodel.
+CostContract` and enumerates the **timing-equivalence classes** an observer
+of that model can separate.  Channel capacity is ``log2(#classes)`` --
+attacker-distinguishable bits, usually far below the worst-case bound.
+
+The walk maintains a set of :class:`TimingClass` states (accumulated
+duration interval, constant env, abstract hardware state, per-level Miss
+counters).  Three constructs change the class count:
+
+* a branch on confidential data **forks** a class when the contract says
+  the two arms' cost intervals are distinguishable
+  (:meth:`CostContract.distinguishable`); indistinguishable arms merge;
+* a ``mitigate`` block **collapses** its body's variation to the deadline
+  sequence: the scheme's predictions quantize the body interval into a
+  finite set of observable padded durations (S-UPDATE in Fig. 6), one
+  class per reachable Miss count;
+* a confidential loop whose bound is not a compile-time constant
+  **widens**: outside any mitigate the iteration count is directly
+  observable, contributing up to ``1 + log2(T)`` extra classes (a
+  declared precision loss, recorded as a :class:`PrecisionNote`); inside
+  a mitigate the deadline collapse absorbs it.
+
+Class counts saturate at :data:`MAX_CLASSES`; a saturated report means
+"at least this much" and budget checks treat it as exceeding any finite
+budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..hardware.costmodel import (
+    CostContract,
+    Interval,
+    ZERO,
+    contract_for,
+)
+from ..hardware.interface import StepKind
+from ..hardware.params import MachineParams
+from ..lang import ast
+from ..lattice import Label
+from ..semantics.mitigation import PredictionScheme, make_scheme
+from ..typesystem.environment import SecurityEnvironment
+from .audit import DEFAULT_HORIZON
+from .cost import MAX_UNROLL, expr_accesses, _assigned_names
+from .dataflow import eval_const
+
+#: Saturation cap on simultaneously-tracked timing classes per model.
+MAX_CLASSES = 4096
+
+#: Cap on Miss-counter iterations when quantizing a body interval into
+#: deadlines.  Polynomial schemes grow like ``(m+1)^q``, so settling a
+#: budget-1 prediction against the default 2^20 horizon needs ~1024
+#: misses; the cap is a backstop for pathological schemes only.
+_MAX_MISSES = 4096
+
+
+# ---------------------------------------------------------------------------
+# Report model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ForkNote:
+    """One program point where the observer gains distinguishing power."""
+
+    node_id: int
+    span: ast.Span
+    kind: str  # "branch" | "loop" | "sleep" | "deadline"
+    bits: float
+    message: str
+
+
+@dataclass
+class PrecisionNote:
+    """A declared precision loss (widened loop, unknown budget)."""
+
+    node_id: int
+    span: ast.Span
+    message: str
+
+
+@dataclass
+class SiteQuant:
+    """Deadline-sequence facts for one mitigate site."""
+
+    mit_id: str
+    node_id: int
+    span: ast.Span
+    level: str
+    budget: Optional[int]
+    #: Body cost interval (with region overhead), joined over visits.
+    body: Interval
+    #: Distinct observable padded deadlines the scheme can emit here.
+    deadline_classes: int
+    #: Worst-case padded duration (None when unbounded misses saturate).
+    padded_hi: Optional[int]
+
+    @property
+    def deadline_bits(self) -> float:
+        return math.log2(self.deadline_classes) if (
+            self.deadline_classes > 0) else 0.0
+
+
+@dataclass
+class QuantifyReport:
+    """Timing-equivalence-class census for one (program, model) pair."""
+
+    hardware: str
+    scheme: str
+    horizon: int
+    #: Attacker-distinguishable class count (saturating).
+    classes: int
+    capacity_bits: float
+    saturated: bool
+    #: Worst-case *padded* program duration interval (objective input).
+    padded: Interval
+    sites: Dict[str, SiteQuant] = field(default_factory=dict)
+    forks: List[ForkNote] = field(default_factory=list)
+    notes: List[PrecisionNote] = field(default_factory=list)
+
+    @property
+    def fork_bits(self) -> float:
+        """Capacity contributed by branch/loop forks (vs. deadlines)."""
+        return sum(f.bits for f in self.forks if f.kind != "deadline")
+
+    @property
+    def deadline_fork_bits(self) -> float:
+        return sum(f.bits for f in self.forks if f.kind == "deadline")
+
+    def exceeds(self, budget_bits: float) -> bool:
+        """Does the computed capacity violate a bits budget?  Saturated
+        censuses exceed every finite budget."""
+        return self.saturated or self.capacity_bits > budget_bits + 1e-9
+
+    def as_dict(self) -> dict:
+        return {
+            "hardware": self.hardware,
+            "scheme": self.scheme,
+            "horizon": self.horizon,
+            "classes": self.classes,
+            "capacity_bits": round(self.capacity_bits, 4),
+            "saturated": self.saturated,
+            "padded": [self.padded.lo, self.padded.hi],
+            "sites": [
+                {
+                    "mit_id": site.mit_id,
+                    "line": site.span.line,
+                    "level": site.level,
+                    "budget": site.budget,
+                    "body": [site.body.lo, site.body.hi],
+                    "deadline_classes": site.deadline_classes,
+                    "deadline_bits": round(site.deadline_bits, 4),
+                    "padded_hi": site.padded_hi,
+                }
+                for site in self.sites.values()
+            ],
+            "forks": [
+                {
+                    "line": fork.span.line,
+                    "kind": fork.kind,
+                    "bits": round(fork.bits, 4),
+                    "message": fork.message,
+                }
+                for fork in self.forks
+            ],
+            "notes": [
+                {"line": note.span.line, "message": note.message}
+                for note in self.notes
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Deadline quantization (the static mirror of MitigationState.settle)
+# ---------------------------------------------------------------------------
+
+
+def settle_misses(
+    scheme: PredictionScheme, budget: int, misses: int, elapsed: int
+) -> int:
+    """The Miss count after S-UPDATE: the least ``m >= misses`` whose
+    prediction strictly exceeds ``elapsed``."""
+    m = misses
+    while (scheme.predict(budget, m) <= elapsed
+           and m - misses < _MAX_MISSES):
+        m += 1
+    return m
+
+
+def deadline_span(
+    scheme: PredictionScheme,
+    budget: int,
+    misses: int,
+    body: Interval,
+    horizon: int,
+) -> Tuple[int, int]:
+    """The reachable Miss-count range ``(m_lo, m_hi)`` for a body whose
+    unpadded duration lies in ``body``; an unbounded body is clipped to
+    the analysis horizon."""
+    m_lo = settle_misses(scheme, budget, misses, max(body.lo, 0))
+    hi = body.hi if body.hi is not None else max(horizon, body.lo)
+    m_hi = settle_misses(scheme, budget, misses, max(hi, 0))
+    return m_lo, m_hi
+
+
+# ---------------------------------------------------------------------------
+# Timing classes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimingClass:
+    """One attacker-distinguishable equivalence class of executions."""
+
+    #: Accumulated (padded) duration interval along this class.
+    interval: Interval
+    #: Flat constant environment (immutable view; copied on write).
+    env: Tuple[Tuple[str, int], ...]
+    #: Contract abstract state (bus queue, cumulative writes, ...).
+    hw: Hashable
+    #: Per-mitigation-level Miss counters (local penalty policy).
+    misses: Tuple[Tuple[str, int], ...] = ()
+    #: Extra distinguishable bits accrued from widened secret constructs
+    #: not (yet) absorbed by a mitigate's deadline collapse.
+    secret_bits: float = 0.0
+
+    def env_dict(self) -> Dict[str, int]:
+        return dict(self.env)
+
+    def with_env(self, env: Dict[str, int]) -> "TimingClass":
+        return replace(self, env=tuple(sorted(env.items())))
+
+    def miss_of(self, level: str) -> int:
+        return dict(self.misses).get(level, 0)
+
+    def with_miss(self, level: str, count: int) -> "TimingClass":
+        misses = dict(self.misses)
+        misses[level] = count
+        return replace(self, misses=tuple(sorted(misses.items())))
+
+
+def _merge_classes(
+    classes: List[TimingClass], contract: CostContract
+) -> TimingClass:
+    """Join several classes into one (the precision-losing merge used when
+    arms are indistinguishable or the census saturates)."""
+    merged = classes[0]
+    env = merged.env_dict()
+    interval = merged.interval
+    hw = merged.hw
+    secret_bits = merged.secret_bits
+    misses = dict(merged.misses)
+    for cls in classes[1:]:
+        other_env = cls.env_dict()
+        env = {k: v for k, v in env.items() if other_env.get(k) == v}
+        interval = interval.join(cls.interval)
+        hw = contract.join_state(hw, cls.hw)
+        secret_bits = max(secret_bits, cls.secret_bits)
+        for level, count in cls.misses:
+            misses[level] = max(misses.get(level, 0), count)
+    return TimingClass(
+        interval=interval,
+        env=tuple(sorted(env.items())),
+        hw=hw,
+        misses=tuple(sorted(misses.items())),
+        secret_bits=secret_bits,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The path-sensitive interpreter
+# ---------------------------------------------------------------------------
+
+
+class _QuantifyInterpreter:
+    def __init__(
+        self,
+        contract: CostContract,
+        gamma: SecurityEnvironment,
+        observer: Label,
+        scheme: PredictionScheme,
+        horizon: int,
+    ):
+        self.contract = contract
+        self.gamma = gamma
+        self.observer = observer
+        self.scheme = scheme
+        self.horizon = horizon
+        self.sites: Dict[str, SiteQuant] = {}
+        self.forks: List[ForkNote] = []
+        self.notes: List[PrecisionNote] = []
+        self.saturated = False
+        #: Extra widening bits one widened secret loop may contribute.
+        self.widen_bits = math.log2(
+            1 + max(math.log2(max(horizon, 2)), 1)
+        )
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _fork(self, cmd: ast.LabeledCommand, kind: str, bits: float,
+              message: str) -> None:
+        if bits <= 0:
+            return
+        for note in self.forks:
+            if note.node_id == cmd.node_id and note.kind == kind:
+                note.bits = max(note.bits, bits)
+                return
+        self.forks.append(
+            ForkNote(cmd.node_id, cmd.span, kind, bits, message)
+        )
+
+    def _note(self, cmd: ast.LabeledCommand, message: str) -> None:
+        if any(n.node_id == cmd.node_id for n in self.notes):
+            return
+        self.notes.append(PrecisionNote(cmd.node_id, cmd.span, message))
+
+    def _secret(self, expr: ast.Expr) -> bool:
+        """Does the expression read data invisible to the observer?"""
+        return not self.gamma.label_of_expr(expr).flows_to(self.observer)
+
+    def _cap(self, classes: List[TimingClass]) -> List[TimingClass]:
+        classes = _dedupe(classes, self.contract)
+        if len(classes) <= MAX_CLASSES:
+            return classes
+        self.saturated = True
+        keep = classes[:MAX_CLASSES - 1]
+        keep.append(_merge_classes(classes[MAX_CLASSES - 1:],
+                                   self.contract))
+        return keep
+
+    # -- one hardware step ----------------------------------------------------
+
+    def _step(
+        self,
+        cls: TimingClass,
+        cmd: ast.LabeledCommand,
+        kind: StepKind,
+        reads: int,
+        writes: int,
+        is_branch: bool = False,
+    ) -> TimingClass:
+        interval, hw = self.contract.step_cost(
+            kind, reads, writes, is_branch,
+            cmd.read_label, cmd.write_label, cls.hw,
+        )
+        return replace(
+            cls, interval=cls.interval + interval, hw=hw
+        )
+
+    # -- commands --------------------------------------------------------------
+
+    def run(self, cmd: ast.Command,
+            classes: List[TimingClass]) -> List[TimingClass]:
+        """Abstractly execute ``cmd`` over every class."""
+        if isinstance(cmd, ast.Seq):
+            classes = self.run(cmd.first, classes)
+            return self.run(cmd.second, classes)
+        out: List[TimingClass] = []
+        for cls in classes:
+            out.extend(self._run_one(cmd, cls))
+        return self._cap(out)
+
+    def _run_one(self, cmd: ast.Command,
+                 cls: TimingClass) -> List[TimingClass]:
+        if isinstance(cmd, ast.Skip):
+            return [self._step(cls, cmd, StepKind.SKIP, 0, 0)]
+
+        if isinstance(cmd, ast.Assign):
+            nxt = self._step(
+                cls, cmd, StepKind.ASSIGN, expr_accesses(cmd.expr), 1
+            )
+            env = nxt.env_dict()
+            value = eval_const(cmd.expr, env)
+            if value is None:
+                env.pop(cmd.target, None)
+            else:
+                env[cmd.target] = value
+            return [nxt.with_env(env)]
+
+        if isinstance(cmd, ast.ArrayAssign):
+            reads = expr_accesses(cmd.index) + expr_accesses(cmd.expr)
+            return [self._step(cls, cmd, StepKind.ASSIGN, reads, 1)]
+
+        if isinstance(cmd, ast.Sleep):
+            return self._sleep(cmd, cls)
+
+        if isinstance(cmd, ast.If):
+            return self._branch(cmd, cls)
+
+        if isinstance(cmd, ast.While):
+            return self._loop(cmd, cls)
+
+        if isinstance(cmd, ast.Mitigate):
+            return self._mitigate(cmd, cls)
+
+        if isinstance(cmd, ast.Seq):
+            return self.run(cmd, [cls])
+
+        raise TypeError(f"not a command: {cmd!r}")
+
+    def _sleep(self, cmd: ast.Sleep,
+               cls: TimingClass) -> List[TimingClass]:
+        duration = eval_const(cmd.duration, cls.env_dict())
+        if duration is not None:
+            interval = Interval.exact(max(duration, 0))
+            return [replace(cls, interval=cls.interval + interval)]
+        interval = Interval.top()
+        nxt = replace(cls, interval=cls.interval + interval)
+        if self._secret(cmd.duration):
+            # Every distinct duration is its own observation; the horizon
+            # bounds how many the clock can tell apart.
+            nxt = replace(
+                nxt, secret_bits=nxt.secret_bits + self.widen_bits
+            )
+            self._fork(
+                cmd, "sleep", self.widen_bits,
+                "a confidential, non-constant sleep exposes its duration "
+                "directly (bounded only by the horizon)",
+            )
+            self._note(
+                cmd,
+                "sleep duration is confidential and not a compile-time "
+                f"constant; counted as {self.widen_bits:.2f} bits of "
+                "precision loss",
+            )
+        return [nxt]
+
+    def _branch(self, cmd: ast.If,
+                cls: TimingClass) -> List[TimingClass]:
+        head = self._step(
+            cls, cmd, StepKind.BRANCH, expr_accesses(cmd.cond), 0,
+            is_branch=True,
+        )
+        guard = eval_const(cmd.cond, head.env_dict())
+        if guard is not None:
+            arm = cmd.then_branch if guard != 0 else cmd.else_branch
+            return self.run(arm, [head])
+
+        base = replace(head, interval=ZERO)
+        then_out = self.run(cmd.then_branch, [base])
+        else_out = self.run(cmd.else_branch, [base])
+        then_iv = _joined_interval(then_out)
+        else_iv = _joined_interval(else_out)
+
+        if self._secret(cmd.cond) and self.contract.distinguishable(
+                then_iv, else_iv):
+            self._fork(
+                cmd, "branch", 1.0,
+                f"confidential guard with distinguishable arms (then "
+                f"{then_iv}, else {else_iv}): the clock reads the arm "
+                "taken",
+            )
+            return [
+                replace(sub, interval=head.interval + sub.interval)
+                for sub in then_out + else_out
+            ]
+
+        # Public guard, or arms the observer cannot separate: one class
+        # per arm-internal fork survives only if the arms forked
+        # internally (conservative for public guards); otherwise merge.
+        if len(then_out) == 1 and len(else_out) == 1:
+            merged = _merge_classes([then_out[0], else_out[0]],
+                                    self.contract)
+            return [replace(merged, interval=head.interval
+                            + merged.interval)]
+        return [
+            replace(sub, interval=head.interval + sub.interval)
+            for sub in then_out + else_out
+        ]
+
+    def _loop(self, cmd: ast.While,
+              cls: TimingClass) -> List[TimingClass]:
+        guard_reads = expr_accesses(cmd.cond)
+        current = [cls]
+        done: List[TimingClass] = []
+        iterations = 0
+        while current:
+            stepped = [
+                self._step(c, cmd, StepKind.BRANCH, guard_reads, 0,
+                           is_branch=True)
+                for c in current
+            ]
+            nxt: List[TimingClass] = []
+            widen: List[TimingClass] = []
+            for c in stepped:
+                guard = eval_const(cmd.cond, c.env_dict())
+                if guard == 0:
+                    done.append(c)
+                elif guard is None or iterations >= MAX_UNROLL:
+                    widen.append(c)
+                else:
+                    nxt.append(c)
+            if widen:
+                done.extend(self._widen_loop(cmd, widen))
+            if not nxt:
+                break
+            current = self._cap(self.run(cmd.body, nxt))
+            iterations += 1
+        return done if done else [cls]
+
+    def _widen_loop(self, cmd: ast.While,
+                    classes: List[TimingClass]) -> List[TimingClass]:
+        """A loop whose guard is not a compile-time constant: cost widens
+        to ⊤; a confidential guard also widens the class census."""
+        secret = self._secret(cmd.cond)
+        killed = _assigned_names(cmd.body)
+        out: List[TimingClass] = []
+        for c in classes:
+            env = {
+                name: value for name, value in c.env_dict().items()
+                if name not in killed
+            }
+            hw = self.contract.widen_state(c.hw)
+            seeded = replace(
+                c, interval=ZERO, hw=hw,
+            ).with_env(env)
+            # One abstract body pass so nested sites still get facts.
+            body_out = self.run(cmd.body, [seeded])
+            landed = _merge_classes(body_out, self.contract) if (
+                body_out) else seeded
+            landed = replace(
+                landed,
+                interval=Interval.top(c.interval.lo),
+                hw=self.contract.widen_state(
+                    self.contract.join_state(hw, landed.hw)
+                ),
+            )
+            if secret:
+                landed = replace(
+                    landed,
+                    secret_bits=landed.secret_bits + self.widen_bits,
+                )
+            out.append(landed)
+        if secret:
+            self._fork(
+                cmd, "loop", self.widen_bits,
+                "confidential loop bound is not a compile-time constant: "
+                "the iteration count is directly observable (precision "
+                f"loss declared as {self.widen_bits:.2f} bits, horizon-"
+                "bounded)",
+            )
+            self._note(
+                cmd,
+                "confidential loop widened: iteration count unbounded; "
+                f"declared precision loss {self.widen_bits:.2f} bits",
+            )
+        else:
+            self._note(
+                cmd,
+                "loop bound is not a compile-time constant; duration "
+                "widened to ⊤ (public guard: no class fork)",
+            )
+        return out
+
+    def _mitigate(self, cmd: ast.Mitigate,
+                  cls: TimingClass) -> List[TimingClass]:
+        head = self._step(
+            cls, cmd, StepKind.MITIGATE, expr_accesses(cmd.budget), 0
+        )
+        budget = eval_const(cmd.budget, head.env_dict())
+        level_name = cmd.level.name if cmd.level is not None else "?"
+        entry_bits = head.secret_bits
+
+        body_out = self.run(
+            cmd.body, [replace(head, interval=ZERO)]
+        )
+        overhead = [
+            replace(sub, interval=sub.interval
+                    + self.contract.region_overhead(sub.hw))
+            for sub in body_out
+        ]
+        body_iv = _joined_interval(overhead)
+
+        if budget is None:
+            self._note(
+                cmd,
+                "mitigate budget is not a compile-time constant; the "
+                "deadline sequence cannot be quantized statically",
+            )
+            self._record_site(cmd, level_name, None, body_iv, 1, None)
+            merged = _merge_classes(overhead, self.contract)
+            return [replace(
+                merged,
+                interval=head.interval + merged.interval,
+                secret_bits=max(entry_bits, merged.secret_bits),
+            )]
+
+        # Was any of the body's variation confidential?  Declared-secret
+        # levels (above the observer) always count; purely public
+        # variation under an observable level pads to a public deadline.
+        body_secret = (
+            not cmd.level.flows_to(self.observer)
+            or len(overhead) > 1
+            or any(sub.secret_bits > entry_bits for sub in overhead)
+        )
+
+        out: List[TimingClass] = []
+        deadlines: set = set()
+        worst_deadline = 0
+        unbounded = False
+        for sub in overhead:
+            m0 = sub.miss_of(level_name)
+            m_lo, m_hi = deadline_span(
+                self.scheme, budget, m0, sub.interval, self.horizon
+            )
+            if sub.interval.hi is None:
+                unbounded = True
+            deadlines.update(
+                self.scheme.predict(budget, m)
+                for m in range(m_lo, m_hi + 1)
+            )
+            if not body_secret:
+                # Public variation: every deadline is a public function
+                # of public data -- one class, padded somewhere in the
+                # deadline window.
+                lo_pad = self.scheme.predict(budget, m_lo)
+                hi_pad = self.scheme.predict(budget, m_hi)
+                worst_deadline = max(worst_deadline, hi_pad)
+                out.append(replace(
+                    sub.with_miss(level_name, m_hi),
+                    interval=head.interval + Interval(lo_pad, hi_pad),
+                    secret_bits=entry_bits,
+                ))
+                continue
+            for m in range(m_lo, m_hi + 1):
+                deadline = self.scheme.predict(budget, m)
+                worst_deadline = max(worst_deadline, deadline)
+                out.append(replace(
+                    sub.with_miss(level_name, m),
+                    interval=head.interval + Interval.exact(deadline),
+                    # The deadline collapse absorbs body-internal
+                    # widening: the padded duration is all that leaks.
+                    secret_bits=entry_bits,
+                ))
+        site_classes = max(len(deadlines), 1) if body_secret else 1
+        self._record_site(
+            cmd, level_name, budget, body_iv, site_classes,
+            None if unbounded and site_classes >= _MAX_MISSES
+            else worst_deadline,
+        )
+        if body_secret and site_classes > 1:
+            self._fork(
+                cmd, "deadline", math.log2(site_classes),
+                f"the scheme's deadline sequence quantizes the body cost "
+                f"{body_iv} into {site_classes} observable padded "
+                "durations",
+            )
+        return out
+
+    def _record_site(
+        self,
+        cmd: ast.Mitigate,
+        level: str,
+        budget: Optional[int],
+        body: Interval,
+        classes: int,
+        padded_hi: Optional[int],
+    ) -> None:
+        seen = self.sites.get(cmd.mit_id)
+        if seen is None:
+            self.sites[cmd.mit_id] = SiteQuant(
+                mit_id=cmd.mit_id,
+                node_id=cmd.node_id,
+                span=cmd.span,
+                level=level,
+                budget=budget,
+                body=body,
+                deadline_classes=classes,
+                padded_hi=padded_hi,
+            )
+            return
+        seen.body = seen.body.join(body)
+        seen.deadline_classes = max(seen.deadline_classes, classes)
+        if seen.budget != budget:
+            seen.budget = None
+        if padded_hi is None:
+            seen.padded_hi = None
+        elif seen.padded_hi is not None:
+            seen.padded_hi = max(seen.padded_hi, padded_hi)
+
+
+def _dedupe(
+    classes: List[TimingClass], contract: CostContract
+) -> List[TimingClass]:
+    """Merge classes the observer cannot tell apart: identical duration
+    interval and Miss state (env differences are invisible; merging keeps
+    only the agreeing constants, a sound overapproximation).  This is what
+    makes a mitigate's deadline collapse actually shrink the census."""
+    groups: Dict[Tuple, List[TimingClass]] = {}
+    for cls in classes:
+        key = (
+            cls.interval.lo, cls.interval.hi, cls.misses,
+            round(cls.secret_bits, 9),
+        )
+        groups.setdefault(key, []).append(cls)
+    return [
+        members[0] if len(members) == 1
+        else _merge_classes(members, contract)
+        for members in groups.values()
+    ]
+
+
+def _joined_interval(classes: List[TimingClass]) -> Interval:
+    if not classes:
+        return ZERO
+    joined = classes[0].interval
+    for cls in classes[1:]:
+        joined = joined.join(cls.interval)
+    return joined
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def quantify(
+    program: ast.Command,
+    gamma: SecurityEnvironment,
+    hardware: str = "null",
+    observer: Optional[Label] = None,
+    scheme: str = "doubling",
+    horizon: int = DEFAULT_HORIZON,
+    params: Optional[MachineParams] = None,
+    contract: Optional[CostContract] = None,
+) -> QuantifyReport:
+    """Enumerate the timing-equivalence classes of ``program`` on one
+    hardware model and report the channel capacity ``log2(#classes)``.
+
+    ``observer`` defaults to the lattice bottom (the paper's low
+    adversary); data whose label flows to the observer is public for the
+    census.  ``scheme`` names the prediction scheme quantizing mitigate
+    deadlines (``doubling`` or ``polynomial``).
+    """
+    contract = contract if contract is not None else contract_for(
+        hardware, params
+    )
+    observer = observer if observer is not None else gamma.lattice.bottom
+    interp = _QuantifyInterpreter(
+        contract, gamma, observer, make_scheme(scheme), horizon
+    )
+    initial = TimingClass(
+        interval=ZERO, env=(), hw=contract.initial_state()
+    )
+    final = interp.run(program, [initial])
+    final = [
+        replace(cls, interval=cls.interval
+                + contract.region_overhead(cls.hw))
+        for cls in final
+    ]
+    # Each class stands for 2^secret_bits indistinguishable-by-structure
+    # but duration-separable observations.
+    weight = sum(2.0 ** cls.secret_bits for cls in final)
+    weight = max(weight, 1.0)
+    capacity = math.log2(weight)
+    if interp.saturated:
+        capacity = max(capacity, math.log2(MAX_CLASSES))
+    return QuantifyReport(
+        hardware=contract.name,
+        scheme=scheme,
+        horizon=horizon,
+        classes=max(int(round(weight)), len(final)),
+        capacity_bits=capacity,
+        saturated=interp.saturated,
+        padded=_joined_interval(final),
+        sites=interp.sites,
+        forks=interp.forks,
+        notes=interp.notes,
+    )
+
+
+def quantify_all(
+    program: ast.Command,
+    gamma: SecurityEnvironment,
+    models: Optional[List[str]] = None,
+    observer: Optional[Label] = None,
+    scheme: str = "doubling",
+    horizon: int = DEFAULT_HORIZON,
+    params: Optional[MachineParams] = None,
+) -> Dict[str, QuantifyReport]:
+    """The census on every requested registry model (default: all)."""
+    from ..hardware.registry import REGISTRY
+
+    names = models if models is not None else list(REGISTRY.names())
+    return {
+        name: quantify(
+            program, gamma, hardware=name, observer=observer,
+            scheme=scheme, horizon=horizon, params=params,
+        )
+        for name in names
+    }

@@ -20,7 +20,7 @@ from .rules import RULE_HELP_BASE, RULES
 __all__ = [
     "RULE_HELP_BASE",  # re-exported for back-compat; lives in rules.py now
     "SARIF_SCHEMA", "SARIF_VERSION",
-    "dump", "render_json", "render_sarif", "render_text",
+    "dump", "model_rows", "render_json", "render_sarif", "render_text",
 ]
 
 SARIF_VERSION = "2.1.0"
@@ -31,6 +31,16 @@ SARIF_SCHEMA = (
 
 
 # -- text ---------------------------------------------------------------------
+
+
+def model_rows(values: Dict[str, object], indent: str = "    ") -> List[str]:
+    """One aligned table row per hardware model: ``<model>  <value>``.
+
+    Shared by ``repro cost`` and ``repro tune`` so per-site ``[lo, hi]``
+    tables render identically everywhere.  Preserves the mapping's
+    iteration order; values are formatted with ``str``.
+    """
+    return [f"{indent}{model:<12} {value}" for model, value in values.items()]
 
 
 def _excerpt(diag: Diagnostic, source: str) -> List[str]:
@@ -204,6 +214,22 @@ def render_sarif(diagnostics: Sequence[Diagnostic]) -> dict:
                 "reproLint/v1": _fingerprint(diag),
             },
         }
+        if diag.fix is not None:
+            result["fixes"] = [{
+                "description": {
+                    "text": f"Replace with the {RULES[diag.code].name} "
+                            "rewrite.",
+                },
+                "artifactChanges": [{
+                    "artifactLocation": {"uri": diag.path or "<program>"},
+                    "replacements": [{
+                        "deletedRegion": _physical_location(
+                            diag.path, diag.span
+                        )["region"],
+                        "insertedContent": {"text": diag.fix},
+                    }],
+                }],
+            }]
         if diag.flow:
             result["codeFlows"] = [{
                 "threadFlows": [{

@@ -161,6 +161,21 @@ _RULES = (
          "cache sets: the hit/miss cost interval straddles a set boundary, "
          "so the index imprints on observable access timing.",
          Severity.WARNING, "Sec. 2.1 (data-cache example, cost-backed)"),
+    Rule("TL026", "leakage-exceeds-budget",
+         "The program's timing-equivalence-class capacity exceeds its "
+         "declared `// budget:` bits bound on at least one registry "
+         "hardware model.",
+         Severity.ERROR, "Sec. 7, Theorem 2 (capacity-backed)"),
+    Rule("TL027", "dominated-mitigate",
+         "A cheaper mitigate budget yields the exact same channel "
+         "capacity: the written budget buys latency, not security "
+         "(the fix-it carries the synthesized rewrite).",
+         Severity.INFO, "Sec. 6.2 (prediction quantum, capacity-backed)"),
+    Rule("TL028", "quantum-dominates-leakage",
+         "A mitigate's deadline sequence -- not its body's data flow -- "
+         "drives the channel capacity: rebudgeting the site collapses "
+         "several observable deadlines into one.",
+         Severity.WARNING, "Sec. 6.2 (S-UPDATE, capacity-backed)"),
 )
 
 #: Rule code -> :class:`Rule`, in catalog order.
@@ -168,6 +183,9 @@ RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULES}
 
 #: The cost-backed family (static cycle-cost analyzer, `repro cost`).
 COST_RULE_CODES = ("TL021", "TL022", "TL023", "TL024", "TL025")
+
+#: The capacity-backed family (quantitative leakage census, `repro tune`).
+LEAKAGE_RULE_CODES = ("TL026", "TL027", "TL028")
 
 #: ``TypingError.kind`` -> rule code, for the single-code kinds.  The
 #: ``"flow"`` kind is decomposed per failing source by the collector.

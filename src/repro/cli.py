@@ -275,7 +275,14 @@ def _list_rules() -> int:
 
 
 def _parse_codes(spec: Optional[str], flag: str) -> Optional[frozenset]:
-    """Validate a ``--select``/``--ignore`` CODE[,CODE...] list."""
+    """Validate a ``--select``/``--ignore`` CODE[,CODE...] list.
+
+    Unknown codes are a configuration error: print the offenders (with a
+    nearest-match suggestion from the catalog) to stderr and exit 2,
+    matching the other bad-input paths.
+    """
+    import difflib
+
     from .analysis.rules import RULES
 
     if spec is None:
@@ -286,10 +293,18 @@ def _parse_codes(spec: Optional[str], flag: str) -> Optional[frozenset]:
     )
     unknown = sorted(codes - set(RULES))
     if unknown:
-        raise SystemExit(
+        hints = []
+        for code in unknown:
+            close = difflib.get_close_matches(code, list(RULES), n=1,
+                                              cutoff=0.0)
+            hints.append(f"{code} (did you mean {close[0]}?)" if close
+                         else code)
+        print(
             f"repro lint: {flag}: unknown rule code(s) "
-            f"{', '.join(unknown)} (see `repro lint --list-rules`)"
+            f"{', '.join(hints)} (see `repro lint --list-rules`)",
+            file=sys.stderr,
         )
+        raise SystemExit(2)
     return codes
 
 
@@ -327,6 +342,7 @@ def cmd_lint(args) -> int:
         explain=args.explain,
         select=_parse_codes(args.select, "--select"),
         ignore=_parse_codes(args.ignore, "--ignore") or frozenset(),
+        bits_budget=args.bits_budget,
     )
     results = []
     bad_input = False
@@ -457,7 +473,7 @@ def cmd_cost(args) -> int:
     from .analysis.engine import (
         DirectiveError, LintOptions, analyze_source,
     )
-    from .analysis.render import dump
+    from .analysis.render import dump, model_rows
     from .analysis.rules import COST_RULE_CODES
 
     try:
@@ -539,8 +555,9 @@ def cmd_cost(args) -> int:
 
         lines.append(f"{path}: static cycle-cost analysis")
         lines.append("  <program> (unpadded cycles):")
-        for model in models:
-            lines.append(f"    {model:<12} {reports[model].program}")
+        lines.extend(model_rows(
+            {model: reports[model].program for model in models}
+        ))
         for site in reports[models[0]].mitigates.values():
             budget = "?" if site.budget is None else site.budget
             lines.append(
@@ -548,10 +565,11 @@ def cmd_cost(args) -> int:
                 f"level {site.level}, budget {budget}): "
                 f"+{bits.get(site.mit_id, 0.0):.2f} bits"
             )
-            for model in models:
-                entry = reports[model].mitigates.get(site.mit_id)
-                if entry is not None:
-                    lines.append(f"    {model:<12} {entry.interval}")
+            lines.extend(model_rows({
+                model: reports[model].mitigates[site.mit_id].interval
+                for model in models
+                if site.mit_id in reports[model].mitigates
+            }))
         for note in reports[models[0]].notes:
             lines.append(
                 f"  widened: line {note.span.line}: {note.message}"
@@ -589,6 +607,199 @@ def cmd_cost(args) -> int:
     if bad_input:
         return 2
     return 1 if findings else 0
+
+
+def _service_quantiles(spec) -> dict:
+    """Run one gateway pass and pull per-tenant measured latency
+    quantiles (p50/p95/p99) plus the audit verdict."""
+    from .service import Gateway, audit_service
+    from .service.audit import quantile
+
+    result = Gateway(spec).serve()
+    audit = audit_service(result)
+    tenants = {}
+    for name in sorted(result.stats):
+        latencies = result.stats[name].latencies
+        tenants[name] = {
+            "p50": quantile(latencies, 0.50),
+            "p95": quantile(latencies, 0.95),
+            "p99": quantile(latencies, 0.99),
+            "completed": result.stats[name].completed,
+            "observed_bits": round(audit.tenants[name].observed_bits, 4),
+            "within_bound": audit.tenants[name].within_bound,
+        }
+    return {
+        "policy": result.policy.describe(),
+        "makespan": result.makespan,
+        "audit_ok": audit.ok,
+        "tenants": tenants,
+    }
+
+
+def cmd_tune(args) -> int:
+    """`tune`: synthesize the cheapest mitigation policy under a bits
+    budget.
+
+    Branch-and-bound over mitigate placement x prediction scheme x
+    per-site budgets, minimizing the static padded-cost objective subject
+    to ``channel capacity <= --bits-budget`` on every requested hardware
+    model.  Emits the rewritten program (``--emit-program``) and a
+    recommended workload-spec fragment (``--emit-spec``); ``--objective
+    service`` replays a ``--spec`` workload under the baseline and the
+    recommended policy and reports measured latency p50/p95/p99.
+    Exit codes: 0 feasible policy found, 1 infeasible, 2 bad input.
+    """
+    from .analysis.engine import (
+        DirectiveError, LintOptions, analyze_source,
+    )
+    from .analysis.render import dump, model_rows
+    from .analysis.synthesize import synthesize
+    from .service import WorkloadError, WorkloadSpec
+
+    if args.bits_budget < 0:
+        print("repro tune: --bits-budget must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        models = _cost_models(args.models)
+    except HardwareRegistryError as err:
+        print(f"repro tune: {err}", file=sys.stderr)
+        return 2
+    if args.objective == "service" and not args.spec:
+        print("repro tune: --objective service needs --spec FILE",
+              file=sys.stderr)
+        return 2
+
+    try:
+        source = _load(args.program)
+    except OSError as err:
+        print(f"repro tune: {err}", file=sys.stderr)
+        return 2
+    options = LintOptions(
+        gamma=_gamma_spec(args),
+        levels=tuple(args.levels.split(",")) if args.levels else None,
+        adversary=args.adversary,
+        lints=False,
+        audit=False,
+        horizon=args.horizon,
+    )
+    try:
+        result = analyze_source(source, path=args.program, options=options)
+    except DirectiveError as err:
+        print(f"repro tune: {args.program}: {err}", file=sys.stderr)
+        return 2
+    if result.fatal or result.program is None or result.gamma is None:
+        for diag in result.diagnostics:
+            print(f"repro tune: {diag.location()}: {diag.message}",
+                  file=sys.stderr)
+        return 2
+
+    observer = (
+        result.lattice[args.adversary] if args.adversary else None
+    )
+    schemes = tuple(args.scheme) if args.scheme else (
+        "doubling", "polynomial"
+    )
+    tuned = synthesize(
+        result.program, result.gamma, args.bits_budget,
+        models=models, schemes=schemes, observer=observer,
+        horizon=args.horizon,
+    )
+    doc = tuned.as_dict()
+    doc["program_path"] = args.program
+
+    spec = None
+    if args.spec:
+        try:
+            raw = json.loads(_load(args.spec))
+            if not isinstance(raw, dict):
+                raise WorkloadError("workload spec must be a JSON object")
+            spec = WorkloadSpec.from_dict(raw)
+        except (OSError, json.JSONDecodeError, WorkloadError) as err:
+            print(f"repro tune: {err}", file=sys.stderr)
+            return 2
+        doc["spec"] = tuned.spec_fragment(
+            tenants=[t.name for t in spec.tenants]
+        )
+    if args.objective == "service" and spec is not None:
+        fragment = tuned.spec_fragment()
+        tuned_spec = spec.with_policy(
+            policy=fragment["policy"], quantum=fragment["quantum"],
+            scheme=fragment["scheme"], penalty=fragment["penalty"],
+        )
+        doc["service"] = {
+            "baseline": _service_quantiles(spec),
+            "tuned": _service_quantiles(tuned_spec),
+        }
+
+    winner = tuned.best if tuned.feasible else None
+    if args.emit_program:
+        if winner is None:
+            print("repro tune: no feasible policy; --emit-program skipped",
+                  file=sys.stderr)
+        else:
+            with open(args.emit_program, "w") as handle:
+                handle.write(winner.source + "\n")
+    if args.emit_spec:
+        fragment = tuned.spec_fragment(
+            tenants=[t.name for t in spec.tenants] if spec else ()
+        )
+        with open(args.emit_spec, "w") as handle:
+            handle.write(json.dumps(fragment, indent=2) + "\n")
+
+    if args.format == "json":
+        print(dump(doc), end="")
+        return 0 if tuned.feasible else 1
+
+    def show(candidate, tag):
+        budgets = ",".join(str(b) for b in candidate.budgets) or "-"
+        objective = ("unbounded" if candidate.objective is None
+                     else candidate.objective)
+        print(f"  {tag}: {candidate.placement}/{candidate.scheme} "
+              f"budgets=({budgets})  objective {objective} padded cycles"
+              f"{'' if candidate.feasible else '  INFEASIBLE'}")
+        print("    capacity (bits) per model:")
+        for line in model_rows({
+            model: ("saturated" if bits == float("inf")
+                    else f"{bits:.3f}")
+            for model, bits in sorted(candidate.capacity.items())
+        }, indent="      "):
+            print(line)
+
+    print(f"{args.program}: mitigation-policy synthesis "
+          f"(budget {args.bits_budget:g} bits, "
+          f"models {', '.join(models)})")
+    show(tuned.baseline, "baseline")
+    if winner is not None:
+        show(winner, "best")
+        print(f"  quantum: {winner.quantum} cycles "
+              f"(quantized release policy, {winner.scheme} scheme)")
+        if tuned.improved:
+            print(f"  improved: objective {winner.objective} < "
+                  f"baseline {tuned.baseline.objective}")
+        print("  program:")
+        for line in winner.source.splitlines():
+            print(f"    {line}")
+    else:
+        print(f"  no feasible policy within {args.bits_budget:g} bits "
+              f"(explored {tuned.explored}, pruned {tuned.pruned})")
+        for placement, why in sorted(tuned.skipped_placements.items()):
+            print(f"  skipped {placement}: {why}")
+    print(f"  search: explored {tuned.explored}, pruned {tuned.pruned}")
+    if "service" in doc:
+        for tag in ("baseline", "tuned"):
+            run = doc["service"][tag]
+            verdict = "ok" if run["audit_ok"] else "VIOLATED"
+            print(f"  service[{tag}]: {run['policy']}  "
+                  f"makespan {run['makespan']}  audit {verdict}")
+            for name, t in run["tenants"].items():
+                print(f"    {name}: latency p50 {t['p50']} "
+                      f"p95 {t['p95']} p99 {t['p99']}  "
+                      f"leakage {t['observed_bits']} bits")
+    if args.emit_program and winner is not None:
+        print(f"  program written to {args.emit_program}")
+    if args.emit_spec:
+        print(f"  spec fragment written to {args.emit_spec}")
+    return 0 if tuned.feasible else 1
 
 
 def cmd_infer(args) -> int:
@@ -1279,6 +1490,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=int, default=ANALYSIS_HORIZON,
                    help="time horizon T for the audit's (1 + log2 T) "
                         "term (default 2^20)")
+    p.add_argument("--bits-budget", type=float, default=None,
+                   metavar="BITS",
+                   help="channel-capacity budget in bits for TL026 "
+                        "(overrides a file's '// budget:' directive)")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
@@ -1333,6 +1548,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", metavar="FILE", default=None,
                    help="write the report to FILE instead of stdout")
     p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser(
+        "tune",
+        help="synthesize the cheapest mitigation policy (placement x "
+             "scheme x budgets) whose channel capacity fits a bits "
+             "budget on every hardware model",
+    )
+    p.add_argument("program", help="program file ('//' header directives "
+                                   "configure the analysis)")
+    p.add_argument("--bits-budget", type=float, required=True,
+                   metavar="BITS",
+                   help="channel-capacity budget in bits the synthesized "
+                        "policy must satisfy on every requested model")
+    p.add_argument("--models", action="append", metavar="MODEL",
+                   default=None,
+                   help="hardware model(s) to certify against "
+                        "(repeatable; default: every registered model)")
+    p.add_argument("--objective", choices=("static", "service"),
+                   default="static",
+                   help="'static' minimizes worst-case padded cycles; "
+                        "'service' additionally replays --spec under the "
+                        "baseline and tuned policies and reports measured "
+                        "latency p50/p95/p99 (default static)")
+    p.add_argument("--spec", metavar="FILE", default=None,
+                   help="workload spec JSON to tailor the emitted "
+                        "fragment to (required for --objective service)")
+    p.add_argument("--scheme", action="append", choices=SCHEME_CHOICES,
+                   default=None,
+                   help="prediction scheme(s) to search (repeatable; "
+                        "default: all)")
+    p.add_argument("--gamma", default="",
+                   help="data labels: name=LEVEL,... (overrides the "
+                        "file's '// gamma:' directive)")
+    p.add_argument("--levels", default=None,
+                   help="chain lattice levels, low to high (default L,H)")
+    p.add_argument("--adversary", default=None,
+                   help="observer level for the census "
+                        "(default: lattice bottom)")
+    p.add_argument("--horizon", type=int, default=ANALYSIS_HORIZON,
+                   help="time horizon T bounding deadline sequences "
+                        "(default 2^20)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default text; json emits the "
+                        "repro.tune/1 document)")
+    p.add_argument("--emit-program", metavar="FILE", default=None,
+                   help="write the synthesized TL program to FILE")
+    p.add_argument("--emit-spec", metavar="FILE", default=None,
+                   help="write the recommended workload-spec fragment "
+                        "(quantized policy, quantum, scheme) to FILE")
+    p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser("infer", help="print with inferred labels")
     common(p)

@@ -76,6 +76,12 @@ class Interval:
     def is_exact(self) -> bool:
         return self.hi == self.lo
 
+    @property
+    def empty(self) -> bool:
+        """True for the degenerate ``lo > hi`` interval (no cycle count
+        satisfies it; used as an impossible-region sentinel)."""
+        return self.hi is not None and self.hi < self.lo
+
     def __add__(self, other: "Interval") -> "Interval":
         hi = (
             None
@@ -112,6 +118,20 @@ class Interval:
         below = self.hi is not None and self.hi < other.lo
         above = other.hi is not None and other.hi < self.lo
         return below or above
+
+    def distinguishable(self, other: "Interval",
+                        resolution: int = 1) -> bool:
+        """Can a timing observer with ``resolution``-cycle granularity tell
+        a duration from this interval apart from one in ``other``?
+
+        True when the intervals are disjoint and separated by at least
+        ``resolution`` cycles.  Symmetric by construction; an empty
+        interval is never distinguishable from anything (there is no
+        duration to observe).
+        """
+        if self.empty or other.empty:
+            return False
+        return self.gap(other) >= max(resolution, 1)
 
     def gap(self, other: "Interval") -> int:
         """Minimum cycle distance between the two intervals (0 if they
@@ -169,8 +189,20 @@ class CostContract:
     #: Canonical registry name of the model this contract abstracts.
     name: str = ""
 
+    #: Clock granularity an observer of this model resolves, in cycles.
+    #: Two region durations closer than this are treated as one
+    #: observation by the quantitative-leakage analysis.
+    RESOLUTION = 1
+
     def __init__(self, params: Optional[MachineParams] = None):
         self.params = params if params is not None else paper_machine()
+
+    def distinguishable(self, a: Interval, b: Interval) -> bool:
+        """Can this model's timing observer separate a duration drawn from
+        ``a`` from one drawn from ``b``?  The quantitative-leakage engine
+        (:mod:`repro.analysis.quantify`) forks a timing-equivalence class
+        exactly when this holds."""
+        return a.distinguishable(b, self.RESOLUTION)
 
     # -- abstract machine state (default: none) -----------------------------
 
@@ -379,6 +411,9 @@ class FrequencyCostContract(PartitionedCostContract):
 
     name = "frequency"
     SLOWDOWN = 2
+    #: A throttled clock jitters every duration by up to SLOWDOWN;
+    #: the observer cannot resolve gaps below that factor.
+    RESOLUTION = SLOWDOWN
 
     def step_cost(self, kind, reads, writes, is_branch,
                   read_label, write_label, state):

@@ -192,6 +192,30 @@ class WorkloadSpec:
     def lattice(self) -> Lattice:
         return chain(self.levels) if self.levels else DEFAULT_LATTICE
 
+    def with_policy(
+        self,
+        policy: Optional[str] = None,
+        quantum: Optional[int] = None,
+        scheme: Optional[str] = None,
+        penalty: Optional[str] = None,
+    ) -> "WorkloadSpec":
+        """A validated copy with the mitigation knobs replaced -- the seam
+        ``repro tune`` uses to graft its recommended policy fragment onto
+        an existing workload before re-running the gateway."""
+        import copy
+
+        spec = copy.deepcopy(self)
+        if policy is not None:
+            spec.policy = policy
+        if quantum is not None:
+            spec.quantum = quantum
+        if scheme is not None:
+            spec.scheme = scheme
+        if penalty is not None:
+            spec.penalty = penalty
+        spec.validate()
+        return spec
+
     def build_handlers(self) -> Dict[str, Handler]:
         """One handler per tenant, each with a secret seed derived from
         the spec seed and the tenant name (stable across runs)."""

@@ -23,13 +23,18 @@ Sec. 8.2's 110%-of-average policy, ``repro.apps.*.calibrate_budget``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 from ..lang import ast
 from ..lattice import Label
 from .environment import SecurityEnvironment
 from .errors import TypingError
 from .typing import TypeChecker
+
+#: A per-placement budget policy: either one integer for every inserted
+#: mitigate, or a callable ``(body, level) -> int`` (e.g. the synthesizer
+#: feeding static worst-case body costs back in).
+BudgetPolicy = Union[int, Callable[[ast.Command, Label], int]]
 
 
 @dataclass(frozen=True)
@@ -59,10 +64,17 @@ class UnmitigatableError(TypingError):
 
 
 class _Repairer:
-    def __init__(self, gamma: SecurityEnvironment):
+    def __init__(self, gamma: SecurityEnvironment,
+                 budget: BudgetPolicy = 1):
         self.gamma = gamma
         self.lattice = gamma.lattice
         self.placements: List[Placement] = []
+        self.budget = budget
+
+    def _budget_for(self, body: ast.Command, level: Label) -> int:
+        if callable(self.budget):
+            return max(int(self.budget(body, level)), 1)
+        return max(int(self.budget), 1)
 
     # -- checking helpers ---------------------------------------------------
 
@@ -175,7 +187,7 @@ class _Repairer:
         body = ast.seq(*suffix)
         level = self._end_label(body, pc, cut_taint)
         wrapper = ast.Mitigate(
-            budget=ast.IntLit(1),
+            budget=ast.IntLit(self._budget_for(body, level)),
             level=level,
             body=body,
             # Inferred-style timing labels: the wrapper runs in this pc.
@@ -213,15 +225,20 @@ def auto_mitigate(
     program: ast.Command,
     gamma: SecurityEnvironment,
     pc: Optional[Label] = None,
+    budget: BudgetPolicy = 1,
 ) -> Tuple[ast.Command, List[Placement]]:
     """Insert mitigate commands until the program typechecks.
 
     The program must already be label-annotated (run inference first).
-    Returns the rewritten program and the list of placements.  Raises
-    :class:`UnmitigatableError` when the errors are not timing-induced.
+    ``budget`` sets the inserted initial estimates: an int applied to
+    every wrapper, or a callable ``(body, level) -> int`` so a caller
+    with cost facts (the ``repro tune`` synthesizer) can calibrate each
+    site.  Returns the rewritten program and the list of placements.
+    Raises :class:`UnmitigatableError` when the errors are not
+    timing-induced.
     """
     lattice = gamma.lattice
-    repairer = _Repairer(gamma)
+    repairer = _Repairer(gamma, budget=budget)
     commands, _ = repairer.repair_block(
         _flatten(program),
         pc if pc is not None else lattice.bottom,

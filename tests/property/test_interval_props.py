@@ -1,0 +1,98 @@
+"""Algebraic edge cases of the ``Interval`` cost domain.
+
+The quantitative census (``repro.analysis.quantify``) leans on three
+interval facts the unit corpus only spot-checks: ⊤ (``hi=None``) is
+absorbing under both ``+`` and ``join``, empty/degenerate intervals are
+handled as impossible regions (never distinguishable from anything), and
+``distinguishable`` is symmetric at every resolution.  Hypothesis sweeps
+them over the whole small-integer grid.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.hardware.costmodel import Interval
+
+_bounds = st.integers(min_value=-64, max_value=64)
+
+# Any interval, including empty (lo > hi) and ⊤ (hi=None).
+_intervals = st.tuples(_bounds, _bounds | st.none()).map(
+    lambda t: Interval(t[0], t[1])
+)
+
+# Non-empty intervals only: lo <= hi, or unbounded.
+_proper = st.tuples(_bounds, st.integers(min_value=0, max_value=64)
+                    | st.none()).map(
+    lambda t: Interval(t[0], None if t[1] is None else t[0] + t[1])
+)
+
+_resolutions = st.integers(min_value=-2, max_value=16)
+
+
+@given(iv=_intervals)
+def test_top_absorbs_under_add(iv):
+    top = Interval.top()
+    assert (iv + top).hi is None
+    assert (top + iv).hi is None
+    assert (iv + top).lo == iv.lo + top.lo
+
+
+@given(iv=_intervals)
+def test_top_absorbs_under_join(iv):
+    top = Interval.top(lo=-64)
+    joined = iv.join(top)
+    assert joined.hi is None
+    assert joined.lo == min(iv.lo, top.lo)
+    assert iv.join(top) == top.join(iv)
+
+
+@given(a=_intervals, b=_intervals)
+def test_join_contains_both(a, b):
+    joined = a.join(b)
+    assert joined.lo <= min(a.lo, b.lo)
+    if joined.hi is not None:
+        assert a.hi is not None and b.hi is not None
+        assert joined.hi >= max(a.hi, b.hi)
+
+
+@given(a=_intervals, b=_intervals, resolution=_resolutions)
+def test_distinguishable_is_symmetric(a, b, resolution):
+    assert a.distinguishable(b, resolution) == b.distinguishable(
+        a, resolution
+    )
+
+
+@given(a=_intervals, resolution=_resolutions)
+def test_empty_interval_never_distinguishable(a, resolution):
+    empty = Interval(5, 1)
+    assert empty.empty
+    assert not empty.distinguishable(a, resolution)
+    assert not a.distinguishable(empty, resolution)
+
+
+@given(a=_proper, resolution=_resolutions)
+def test_interval_not_distinguishable_from_itself(a, resolution):
+    assert not a.distinguishable(a, resolution)
+
+
+@given(a=_proper, b=_proper, resolution=_resolutions)
+def test_distinguishable_implies_disjoint_with_gap(a, b, resolution):
+    if a.distinguishable(b, resolution):
+        assert a.disjoint_from(b)
+        assert a.gap(b) >= max(resolution, 1)
+    # Overlapping intervals are never distinguishable.
+    if not a.disjoint_from(b):
+        assert not a.distinguishable(b, resolution)
+
+
+@given(value=_bounds)
+def test_degenerate_point_interval(value):
+    point = Interval.exact(value)
+    assert point.is_exact and not point.empty
+    assert point.contains(value)
+    assert not point.distinguishable(point)
+    # A point one resolution step away is distinguishable at 1 but the
+    # separation must clear coarser resolutions.
+    neighbor = Interval.exact(value + 2)
+    assert point.distinguishable(neighbor, resolution=1)
+    assert point.distinguishable(neighbor, resolution=2)
+    assert not point.distinguishable(neighbor, resolution=3)

@@ -468,7 +468,17 @@ class TestSarifCompleteness:
     fingerprints, codeFlows -- plus an exact golden-file comparison."""
 
     GOLDEN_SOURCE = (
-        "// gamma: h=H, l=L\n"
+        "// gamma: h=H, l=L, x=H\n"
+        "mitigate(20, H) {\n"
+        "    if h > 0 then {\n"
+        "        x := h + 1\n"
+        "    } else {\n"
+        "        x := h - 1\n"
+        "    }\n"
+        "}\n"
+        ";\n"
+        "h := x\n"
+        ";\n"
         "if h > 0 then {\n"
         "    l := 1\n"
         "} else {\n"

@@ -221,11 +221,28 @@ class TestLintSelection:
         assert rc == 1
         assert "TL010" in capsys.readouterr().out
 
-    def test_unknown_code_rejected(self, multi_bug):
+    def test_unknown_code_rejected(self, multi_bug, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["lint", multi_bug, "--select", "TL999"])
-        assert "TL999" in str(exc.value)
-        assert "--list-rules" in str(exc.value)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "TL999" in err
+        assert "--list-rules" in err
+
+    def test_unknown_code_suggests_nearest(self, multi_bug, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", multi_bug, "--select", "TL01"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean TL" in err
+
+    def test_unknown_ignore_code_rejected(self, multi_bug, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", multi_bug, "--ignore", "TL026,TL9999"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--ignore" in err
+        assert "TL9999" in err
 
     def test_list_rules_catalog(self, capsys):
         rc = main(["lint", "--list-rules"])
@@ -235,7 +252,7 @@ class TestLintSelection:
         for code, rule in RULES.items():
             assert code in out
             assert rule.name in out
-        assert "26 rules" in out
+        assert "29 rules" in out
 
     def test_no_programs_without_list_rules_exit_2(self, capsys):
         rc = main(["lint"])
